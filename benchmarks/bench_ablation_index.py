@@ -1,0 +1,63 @@
+"""Ablation: ModelMap red-black tree vs linear ModelTable scanning.
+
+The persistent ModelTable is a sorted array; the daemon fronts it with a
+DRAM red-black tree so lookups stay O(log n) as the multi-tenant model
+count grows (the paper stores "thousands of models' checkpoints").  This
+is a host-time micro-benchmark of the lookup structure itself.
+"""
+
+import time
+
+from repro.core.modelmap import ModelMap
+from repro.harness.report import render_table
+
+MODELS = 4096
+LOOKUPS = 20000
+
+
+def _build():
+    tree = ModelMap()
+    names = [f"tenant-{i % 64}/model-{i:05d}" for i in range(MODELS)]
+    for i, name in enumerate(names):
+        tree.insert(name, i)
+    probe = [names[(i * 2654435761) % MODELS] for i in range(LOOKUPS)]
+    return tree, names, probe
+
+
+def test_ablation_modelmap_lookup(benchmark):
+    tree, names, probe = _build()
+
+    def tree_lookups():
+        total = 0
+        for name in probe:
+            total += tree[name]
+        return total
+
+    expected = benchmark(tree_lookups)
+
+    # Reference: linear scan of the sorted-array representation.
+    table = sorted((name, i) for i, name in enumerate(names))
+
+    def scan(name):
+        for key, value in table:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    start = time.perf_counter()
+    total = 0
+    for name in probe[:LOOKUPS // 20]:
+        total += scan(name)
+    linear_per_lookup = (time.perf_counter() - start) / (LOOKUPS // 20)
+
+    start = time.perf_counter()
+    tree_total = tree_lookups()
+    tree_per_lookup = (time.perf_counter() - start) / LOOKUPS
+    assert tree_total == expected
+
+    print(render_table(
+        f"Ablation: lookup structure at {MODELS} models",
+        ["structure", "per lookup"],
+        [["ModelMap (red-black tree)", f"{tree_per_lookup * 1e6:.2f}us"],
+         ["linear ModelTable scan", f"{linear_per_lookup * 1e6:.2f}us"]]))
+    assert tree_per_lookup < linear_per_lookup

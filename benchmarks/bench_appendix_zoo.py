@@ -1,0 +1,51 @@
+"""Appendix: checkpoint speedups across the extended model zoo.
+
+The paper evaluates 76 DNN models and prints seven; its appendix reports
+the rest.  This bench sweeps a broad slice of the zoo (every family at
+several scales) and checks the paper's core claim generalizes: Portus
+beats torch.save -> BeeGFS-PMem by roughly the same factor on *every*
+model, regardless of family or size.
+"""
+
+import statistics
+
+from repro.dnn.zoo import build_zoo_model
+from repro.harness.experiments import _portus_times, _torch_save_times
+from repro.harness.report import render_table
+from repro.units import MIB, fmt_time
+
+from conftest import run_once
+
+APPENDIX_MODELS = [
+    "resnet18", "resnet101", "vgg16_bn", "vit_b_16", "vit_l_16",
+    "swin_t", "convnext_tiny", "convnext_large",
+]
+
+
+def _run_sweep():
+    rows = {}
+    for name in APPENDIX_MODELS:
+        portus_ckpt, _portus_restore = _portus_times(name)
+        beegfs_ckpt, _beegfs_restore = _torch_save_times(name, "beegfs")
+        rows[name] = (portus_ckpt, beegfs_ckpt)
+    return rows
+
+
+def test_appendix_zoo_sweep(benchmark, shared_results):
+    rows = run_once(benchmark, "appendix_zoo", _run_sweep, shared_results)
+    table = []
+    ratios = []
+    for name, (portus_ns, beegfs_ns) in rows.items():
+        size_mib = build_zoo_model(name).total_bytes / MIB
+        ratio = beegfs_ns / portus_ns
+        ratios.append(ratio)
+        table.append([name, f"{size_mib:.0f}MiB", fmt_time(portus_ns),
+                      fmt_time(beegfs_ns), f"{ratio:.2f}x"])
+    print(render_table(
+        "Appendix: checkpoint speedup across the extended zoo",
+        ["model", "size", "portus", "beegfs-pmem", "speedup"], table))
+    # The claim generalizes: every model in the paper's band.
+    assert all(6.0 < ratio < 10.5 for ratio in ratios)
+    spread = max(ratios) - min(ratios)
+    assert spread < 2.5  # size/family change the factor only mildly
+    assert 7.5 < statistics.mean(ratios) < 9.5

@@ -1,0 +1,29 @@
+"""Fig. 2: checkpointing share of total training time (motivation).
+
+Paper: with CheckFreq-recommended frequencies (ViT every 83 iterations,
+GPT every 100), a checkpoint operation weighs at least 24.9 % of total
+time, growing to 41 % for GPT-22.4B.
+"""
+
+from repro.harness.experiments import fig2_overhead
+from repro.harness.report import render_table
+
+from conftest import run_once
+
+PAPER = {"vit_l_32": 0.249, "gpt-22.4b": 0.41}
+
+
+def test_fig2_checkpoint_overhead(benchmark, shared_results):
+    measured = run_once(benchmark, "fig2", fig2_overhead, shared_results)
+    rows = [[name, f"{fraction * 100:.1f}%",
+             f"{PAPER.get(name, float('nan')) * 100:.1f}%"
+             if name in PAPER else "-"]
+            for name, fraction in measured.items()]
+    print(render_table("Fig. 2: checkpoint share of training time",
+                       ["workload", "measured", "paper"], rows))
+    # Every workload spends at least ~25% of its time checkpointing...
+    assert all(fraction >= 0.22 for fraction in measured.values())
+    # ...growing with model scale up to ~41%.
+    assert abs(measured["vit_l_32"] - PAPER["vit_l_32"]) < 0.05
+    assert abs(measured["gpt-22.4b"] - PAPER["gpt-22.4b"]) < 0.05
+    assert measured["gpt-22.4b"] > measured["vit_l_32"]

@@ -1,0 +1,37 @@
+"""Fig. 9: training timeline under four checkpointing policies.
+
+Paper (qualitative): ordinary PyTorch sync is worst (full serialize +
+persist stall every checkpoint); CheckFreq hides the persist but stalls
+for snapshots; Portus-sync stalls only for the fast pull; Portus-async
+has near-zero overhead.
+"""
+
+from repro.harness.experiments import fig9_timeline
+from repro.harness.report import render_table
+from repro.units import fmt_time
+
+from conftest import run_once
+
+
+def test_fig9_policy_timeline(benchmark, shared_results):
+    result = run_once(benchmark, "fig9", fig9_timeline, shared_results)
+    systems = ["pytorch_sync", "checkfreq", "portus_sync", "portus_async"]
+    compute = result["compute_ns"]
+    rows = []
+    for system in systems:
+        entry = result[system]
+        overhead = (entry["total_ns"] - compute) / compute
+        rows.append([system, fmt_time(entry["total_ns"]),
+                     fmt_time(entry["stall_ns"]),
+                     f"{overhead * 100:.1f}%"])
+    print(render_table(
+        f"Fig. 9: {result['model']} x{result['iterations']} iterations, "
+        "checkpoint every iteration",
+        ["policy", "total", "ckpt stall", "overhead"], rows))
+    totals = [result[system]["total_ns"] for system in systems]
+    # Strict ordering: each policy beats the one before it.
+    assert totals == sorted(totals, reverse=True)
+    # Portus-async is within 2% of pure compute time.
+    assert result["portus_async"]["total_ns"] < compute * 1.02
+    # Ordinary sync pays >50% overhead at this frequency.
+    assert result["pytorch_sync"]["total_ns"] > compute * 1.5

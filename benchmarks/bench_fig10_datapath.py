@@ -1,0 +1,49 @@
+"""Fig. 10: Portus datapath bandwidth and latency across device pairs.
+
+Paper: GPU reads peak at 5.8 GB/s (30 % below DRAM's 8.3 GB/s) because
+BAR-mapped reads cannot prefetch; writes are unaffected by BAR; DRAM vs
+PMem as the storage target makes no difference; bandwidth saturates once
+messages exceed 512 KiB.
+"""
+
+import pytest
+
+from repro.harness.experiments import fig10_datapath
+from repro.harness.report import render_series
+from repro.units import fmt_bandwidth, fmt_bytes, gbytes, kib
+
+from conftest import run_once
+
+
+def test_fig10_datapath_curves(benchmark, shared_results):
+    result = run_once(benchmark, "fig10", fig10_datapath, shared_results)
+    sizes = result["sizes"]
+    labels = [fmt_bytes(size) for size in sizes]
+    print(render_series("Fig. 10(a/b): one-sided READ bandwidth",
+                        "msg size", result["read_bw"], labels,
+                        fmt=fmt_bandwidth))
+    print(render_series("Fig. 10(c/d): one-sided WRITE bandwidth",
+                        "msg size", result["write_bw"], labels,
+                        fmt=fmt_bandwidth))
+
+    peak = {path: bws[-1] for path, bws in result["read_bw"].items()}
+    # GPU read peak 5.8 GB/s, ~30% below DRAM reads.
+    assert peak["gpu->dram"] == pytest.approx(gbytes(5.8), rel=0.02)
+    assert peak["dram->dram"] == pytest.approx(gbytes(8.3), rel=0.02)
+    assert 1 - peak["gpu->dram"] / peak["dram->dram"] == pytest.approx(
+        0.30, abs=0.03)
+    # DRAM or PMem as the target does not matter.
+    assert peak["gpu->pmem"] == pytest.approx(peak["gpu->dram"], rel=0.02)
+    assert peak["dram->pmem"] == pytest.approx(peak["dram->dram"],
+                                               rel=0.02)
+    # BAR does not affect writes: pushing into the GPU runs at DRAM speed.
+    write_peak = {path: bws[-1] for path, bws in result["write_bw"].items()}
+    assert write_peak["dram->gpu"] == pytest.approx(
+        write_peak["dram->dram"], rel=0.02)
+    # Saturation: >=512 KiB messages reach >90% of peak bandwidth.
+    index_512k = result["sizes"].index(kib(512))
+    for path, bws in result["read_bw"].items():
+        assert bws[index_512k] > 0.9 * peak[path], path
+    # Small messages are latency-bound, far below peak.
+    for path, bws in result["read_bw"].items():
+        assert bws[0] < 0.3 * peak[path], path

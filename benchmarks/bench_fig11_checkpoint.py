@@ -1,0 +1,47 @@
+"""Fig. 11: checkpoint time of the seven models across storage options.
+
+Paper: Portus is 8.49x faster than BeeGFS-PMem and 8.18x faster than
+local ext4-NVMe on average, peaking at 9.23x on ResNet50 (whose many
+small tensors amplify per-record and metadata overheads).
+"""
+
+import statistics
+
+from repro.harness.experiments import fig11_fig12_times, speedups
+from repro.harness.report import render_table
+from repro.units import fmt_time
+
+from conftest import run_once
+
+
+def test_fig11_checkpoint_times(benchmark, shared_results):
+    times = run_once(benchmark, "fig11_12", fig11_fig12_times,
+                     shared_results)
+    ratios = speedups(times, "checkpoint")
+    rows = []
+    for i, model in enumerate(times["models"]):
+        rows.append([
+            model,
+            fmt_time(times["checkpoint"]["portus"][i]),
+            fmt_time(times["checkpoint"]["beegfs_pmem"][i]),
+            fmt_time(times["checkpoint"]["ext4_nvme"][i]),
+            f"{ratios['vs_beegfs'][i]:.2f}x",
+            f"{ratios['vs_ext4'][i]:.2f}x",
+        ])
+    print(render_table(
+        "Fig. 11: checkpoint time (paper: avg 8.49x/8.18x, max 9.23x)",
+        ["model", "portus", "beegfs-pmem", "ext4-nvme", "vs beegfs",
+         "vs ext4"], rows))
+
+    mean_beegfs = statistics.mean(ratios["vs_beegfs"])
+    mean_ext4 = statistics.mean(ratios["vs_ext4"])
+    # Who wins, and by roughly the paper's factor.
+    assert 7.0 < mean_beegfs < 10.0
+    assert 7.0 < mean_ext4 < 10.0
+    assert all(r > 5 for r in ratios["vs_beegfs"])
+    # The paper's maximum-speedup model is ResNet50 (small-file effect).
+    best = times["models"][ratios["vs_beegfs"].index(
+        max(ratios["vs_beegfs"]))]
+    assert best == "resnet50"
+    # BeeGFS (remote, two-sided) is slower than local ext4 to checkpoint.
+    assert mean_beegfs > mean_ext4

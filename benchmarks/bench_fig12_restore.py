@@ -1,0 +1,51 @@
+"""Fig. 12: restore time of the seven models across storage options.
+
+Paper: Portus restores 5.15x faster than BeeGFS-PMem and 3.83x faster
+than ext4-NVMe on average (up to 7.0x on ResNet50); the gain is smaller
+than for checkpointing because GPUDirect Storage lets the baselines load
+straight into GPU memory.
+"""
+
+import statistics
+
+from repro.harness.experiments import fig11_fig12_times, speedups
+from repro.harness.report import render_table
+from repro.units import fmt_time
+
+from conftest import run_once
+
+
+def test_fig12_restore_times(benchmark, shared_results):
+    times = run_once(benchmark, "fig11_12", fig11_fig12_times,
+                     shared_results)
+    ckpt = speedups(times, "checkpoint")
+    restore = speedups(times, "restore")
+    rows = []
+    for i, model in enumerate(times["models"]):
+        rows.append([
+            model,
+            fmt_time(times["restore"]["portus"][i]),
+            fmt_time(times["restore"]["beegfs_pmem"][i]),
+            fmt_time(times["restore"]["ext4_nvme"][i]),
+            f"{restore['vs_beegfs'][i]:.2f}x",
+            f"{restore['vs_ext4'][i]:.2f}x",
+        ])
+    print(render_table(
+        "Fig. 12: restore time (paper: avg 5.15x/3.83x)",
+        ["model", "portus", "beegfs-pmem", "ext4-nvme", "vs beegfs",
+         "vs ext4"], rows))
+
+    mean_beegfs = statistics.mean(restore["vs_beegfs"])
+    mean_ext4 = statistics.mean(restore["vs_ext4"])
+    assert 4.0 < mean_beegfs < 6.5
+    assert 3.0 < mean_ext4 < 5.5
+    # GDS on local NVMe makes ext4 the faster baseline at restore...
+    assert mean_ext4 < mean_beegfs
+    # ...and restore gains are lower than checkpoint gains (the paper's
+    # GPUDirect-Storage observation).
+    assert mean_beegfs < statistics.mean(ckpt["vs_beegfs"])
+    # Portus restore is itself faster than Portus checkpoint (no BAR cap
+    # on writes).
+    for i in range(len(times["models"])):
+        assert (times["restore"]["portus"][i]
+                < times["checkpoint"]["portus"][i])

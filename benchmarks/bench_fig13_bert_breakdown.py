@@ -1,0 +1,42 @@
+"""Fig. 13: breakdown analysis of BERT checkpointing time.
+
+Paper: RDMA transmission dominates Portus's (short) checkpoint time;
+serialization + cuMemcpy contribute 46.5 % to ext4-NVMe and 57.2 % to
+BeeGFS-PMem; ext4-NVMe spends 53.7 % of its time interacting with block
+devices through kernel crossings; and Portus's one-sided transport beats
+BeeGFS's two-sided RPCoRDMA.
+"""
+
+from repro.harness.experiments import fig13_bert_breakdown
+from repro.harness.report import render_breakdown
+from repro.units import fmt_time
+
+from conftest import run_once
+
+
+def test_fig13_bert_breakdown(benchmark, shared_results):
+    result = run_once(benchmark, "fig13", fig13_bert_breakdown,
+                      shared_results)
+    for option in ("ext4_nvme", "beegfs_pmem", "portus"):
+        total = result[f"{option}_total_ns"]
+        print(render_breakdown(
+            f"Fig. 13: BERT checkpoint via {option} "
+            f"(total {fmt_time(total)})", result[option]))
+
+    # Portus is one phase: the RDMA pull is the whole checkpoint.
+    assert result["portus"] == {"rdma_pull": 1.0}
+    # Portus total is far below both baselines.
+    assert result["portus_total_ns"] * 5 < result["ext4_nvme_total_ns"]
+    assert result["portus_total_ns"] * 5 < result["beegfs_pmem_total_ns"]
+    # Serialization + cuMemcpy shares (paper: 46.5% / 57.2%).
+    ext4_share = result["ext4_nvme"]["serialization+cuMemcpy"]
+    beegfs_share = result["beegfs_pmem"]["serialization+cuMemcpy"]
+    # Note: the paper's Fig. 13 shares (46.5% ext4 / 57.2% BeeGFS) are in
+    # mild tension with its Fig. 11 (near-equal totals for the two
+    # baselines); our calibration matches Fig. 11, which puts both
+    # serialization+cuMemcpy shares in the mid-50s.
+    assert abs(ext4_share - 0.465) < 0.13
+    assert abs(beegfs_share - 0.572) < 0.06
+    # ext4 spends roughly half its time in block-device kernel crossings
+    # (paper: 53.7%).
+    assert abs(result["ext4_nvme"]["block_io_kernel"] - 0.537) < 0.13

@@ -1,0 +1,52 @@
+"""Fig. 14: dumping one GPT checkpoint, torch.save vs Portus (16 A40s).
+
+Paper: torch.save to shared BeeGFS takes >120 s at 22.4 B parameters
+(89.6 GB); Portus takes ~15 s — an average 8.18x speedup across the
+1.5 B -> 22.4 B sweep.
+"""
+
+import statistics
+
+from repro.harness.experiments import fig14_gpt_dump
+from repro.harness.projections import paper_projection_table
+from repro.harness.report import render_table
+from repro.units import fmt_bytes, fmt_time
+
+from conftest import run_once
+
+
+def test_fig14_gpt_dump_sweep(benchmark, shared_results):
+    result = run_once(benchmark, "fig14", fig14_gpt_dump, shared_results)
+    rows = []
+    ratios = []
+    for i, name in enumerate(result["configs"]):
+        ratio = result["torch_save"][i] / result["portus"][i]
+        ratios.append(ratio)
+        rows.append([name, f"{result['params_b'][i]:.1f}B",
+                     fmt_bytes(result["bytes"][i]),
+                     fmt_time(result["torch_save"][i]),
+                     fmt_time(result["portus"][i]),
+                     f"{ratio:.2f}x"])
+    print(render_table(
+        "Fig. 14: GPT checkpoint dump (paper: >120s vs ~15s, avg 8.18x)",
+        ["config", "params", "ckpt size", "torch.save", "portus",
+         "speedup"], rows))
+
+    # The paper's §V-E projection: hours saved checkpointing every 30 min.
+    i_big = result["configs"].index("gpt-22.4b")
+    saved = paper_projection_table(result["torch_save"][i_big],
+                                   result["portus"][i_big])
+    print("\nprojected wall-clock saved at 1 ckpt / 30 min "
+          "(paper: >1.5h per day): "
+          + ", ".join(f"{label}: {hours:.1f}h"
+                      for label, hours in saved.items()))
+    assert saved["24h"] > 1.2  # the paper's ">1.5 hours" band
+
+    # The headline point: >120 s vs ~15 s at 22.4B.
+    assert result["torch_save"][i_big] > 120e9
+    assert 10e9 < result["portus"][i_big] < 20e9
+    # Speedup factor in the paper's band across the sweep.
+    assert 6.0 < statistics.mean(ratios) < 14.0
+    # Both curves grow monotonically with model size.
+    assert result["torch_save"] == sorted(result["torch_save"])
+    assert result["portus"] == sorted(result["portus"])

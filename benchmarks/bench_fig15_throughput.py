@@ -1,0 +1,36 @@
+"""Fig. 15: overall GPT-22.4B training throughput, Portus vs CheckFreq.
+
+Paper: Portus improves GPT-22.4B training throughput by ~2.6x under
+fine-grained checkpointing and supports ~14,400 more iterations per 24 h
+than CheckFreq.
+"""
+
+from repro.harness.experiments import fig15_fig16_training
+from repro.harness.report import render_table
+
+from conftest import run_once
+
+
+def test_fig15_training_throughput(benchmark, shared_results):
+    result = run_once(benchmark, "fig15_16", fig15_fig16_training,
+                      shared_results)
+    rows = []
+    for system in ("checkfreq", "portus"):
+        entry = result[system]
+        rows.append([system, entry["iterations"],
+                     f"{entry['iters_per_day']:.0f}",
+                     f"{entry['utilization'] * 100:.1f}%"])
+    print(render_table(
+        f"Fig. 15: GPT-22.4B training, ckpt every "
+        f"{result['checkpoint_every']} iterations over "
+        f"{result['window_s']}s (paper: ~2.6x, +14,400 iters/24h)",
+        ["system", f"iters/{result['window_s']}s", "iters/24h",
+         "gpu util"], rows))
+    print(f"\nthroughput ratio: {result['throughput_ratio']:.2f}x; "
+          f"extra iterations per 24h: "
+          f"{result['extra_iters_per_day']:.0f}")
+
+    assert result["throughput_ratio"] > 1.5
+    assert result["portus"]["iterations"] > result["checkfreq"]["iterations"]
+    # The paper projects ~14,400 extra iterations per day; same order.
+    assert 8_000 < result["extra_iters_per_day"] < 30_000

@@ -1,0 +1,24 @@
+"""Table I: breakdown of the traditional DNN checkpointing datapath.
+
+Paper: GPU->main memory 15.5 %, serialization 41.7 %, transmission (RDMA)
+30.0 %, server DAX write 12.8 % — for a BERT checkpoint through
+torch.save to BeeGFS-PMem.
+"""
+
+from repro.harness.calibration import TABLE1_PAPER
+from repro.harness.experiments import table1_breakdown
+from repro.harness.report import render_breakdown
+
+from conftest import run_once
+
+
+def test_table1_breakdown(benchmark, shared_results):
+    measured = run_once(benchmark, "table1", table1_breakdown,
+                        shared_results)
+    print(render_breakdown("Table I: DNN checkpointing overhead",
+                           measured, paper=TABLE1_PAPER))
+    for phase, paper_share in TABLE1_PAPER.items():
+        assert abs(measured[phase] - paper_share) < 0.03, phase
+    # Serialization dominates; the two CPU-side phases exceed half.
+    assert measured["serialization"] == max(measured.values())
+    assert measured["gpu_to_dram"] + measured["serialization"] > 0.5

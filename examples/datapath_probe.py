@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Probe the raw Portus datapath (the Fig. 10 experiment).
+
+Sweeps one-sided RDMA READ/WRITE sizes between every device pair
+(client DRAM / client GPU x server DRAM / server PMem) and prints the
+bandwidth and latency curves: GPU reads cap at 5.8 GB/s (the BAR effect),
+writes don't, PMem-vs-DRAM targets don't matter, and everything saturates
+past 512 KiB messages.
+
+Run:  python examples/datapath_probe.py
+"""
+
+from repro.harness.experiments import fig10_datapath
+from repro.harness.report import render_series
+from repro.units import fmt_bandwidth, fmt_bytes, fmt_time
+
+
+def main() -> None:
+    result = fig10_datapath()
+    labels = [fmt_bytes(size) for size in result["sizes"]]
+    print(render_series("one-sided READ bandwidth (server pulls)",
+                        "msg size", result["read_bw"], labels,
+                        fmt=fmt_bandwidth))
+    print(render_series("one-sided READ latency",
+                        "msg size", result["read_latency"], labels,
+                        fmt=fmt_time))
+    print(render_series("one-sided WRITE bandwidth (server pushes)",
+                        "msg size", result["write_bw"], labels,
+                        fmt=fmt_bandwidth))
+    print(render_series("one-sided WRITE latency",
+                        "msg size", result["write_latency"], labels,
+                        fmt=fmt_time))
+
+    gpu_peak = result["read_bw"]["gpu->dram"][-1]
+    dram_peak = result["read_bw"]["dram->dram"][-1]
+    print(f"\nGPU BAR read peak: {fmt_bandwidth(gpu_peak)} "
+          f"({(1 - gpu_peak / dram_peak) * 100:.0f}% below DRAM's "
+          f"{fmt_bandwidth(dram_peak)})")
+
+
+if __name__ == "__main__":
+    main()

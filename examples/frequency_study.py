@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""How often *can* you checkpoint?  The paper's core trade, quantified.
+
+CheckFreq tunes its frequency so checkpoint overhead stays under a
+budget; the slower the persist, the rarer the checkpoints and the more
+work a failure destroys.  This example computes, for each Table II model,
+the finest checkpoint cadence each system supports at a 3.5 % overhead
+budget — most models sustain Portus checkpoints every single iteration,
+the paper's "iteration-based fine-grained checkpointing with almost zero
+overhead".
+
+Run:  python examples/frequency_study.py
+"""
+
+from repro.baselines.checkfreq import recommend_frequency
+from repro.baselines.torch_save import CUDA_D2H_PAGEABLE_BPS
+from repro.dnn.models import MODEL_BUILDERS, build_model
+from repro.harness.calibration import (baseline_checkpoint_ns_per_byte,
+                                       portus_checkpoint_ns_per_byte)
+from repro.harness.report import render_table
+from repro.units import fmt_time
+
+
+def main() -> None:
+    rows = []
+    for name in sorted(MODEL_BUILDERS):
+        spec = build_model(name)
+        snapshot_ns = int(spec.total_bytes / CUDA_D2H_PAGEABLE_BPS * 1e9)
+        persist_ns = int(spec.total_bytes
+                         * baseline_checkpoint_ns_per_byte()) - snapshot_ns
+        portus_ns = int(spec.total_bytes * portus_checkpoint_ns_per_byte())
+        k_checkfreq = recommend_frequency(spec.iteration_ns, snapshot_ns,
+                                          persist_ns,
+                                          overhead_budget=0.035)
+        # Portus async: the "snapshot" is the pull overlapped with F+B;
+        # residual stall is only what exceeds the F+B window.
+        fb_window = int(spec.iteration_ns * 0.8)
+        stall_ns = max(0, portus_ns - fb_window)
+        k_portus = recommend_frequency(spec.iteration_ns, stall_ns, 0,
+                                       overhead_budget=0.035)
+        rows.append([name, fmt_time(spec.iteration_ns),
+                     fmt_time(persist_ns + snapshot_ns),
+                     fmt_time(portus_ns),
+                     f"every {k_checkfreq}", f"every {k_portus}"])
+    print(render_table(
+        "Finest checkpoint cadence at a 3.5% overhead budget (iterations)",
+        ["model", "iter time", "baseline ckpt", "portus ckpt",
+         "checkfreq", "portus"], rows))
+    print("\nWherever the pull fits inside one iteration's F+B window, "
+          "Portus sustains\ncheckpoint-every-iteration at effectively zero "
+          "overhead; models whose size\noutruns their iteration time "
+          "(alexnet, vit_l_32) still checkpoint 5-10x more\nfinely than "
+          "CheckFreq can afford.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Baseline checkpointing systems the paper compares against:
+synchronous torch.save to a filesystem, and CheckFreq's two-phase
+snapshot + asynchronous persist."""
+
+from repro.baselines.checkfreq import CheckFreqPolicy, recommend_frequency
+from repro.baselines.policies import SyncCheckpointPolicy
+from repro.baselines.torch_save import (CUDA_D2H_PAGEABLE_BPS,
+                                        TorchSaveCheckpointer)
+
+__all__ = [
+    "CUDA_D2H_PAGEABLE_BPS",
+    "CheckFreqPolicy",
+    "SyncCheckpointPolicy",
+    "TorchSaveCheckpointer",
+    "recommend_frequency",
+]

@@ -1,0 +1,43 @@
+"""Generic checkpoint policies used across experiments.
+
+:class:`SyncCheckpointPolicy` is the "ordinary PyTorch" timeline of
+Fig. 9(a): every k-th iteration blocks until the full checkpoint path
+completes.  It works with any checkpointer exposing a blocking
+``checkpoint(model)`` process — torch.save or the synchronous Portus
+client alike, which is what makes the Fig. 9 comparison apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.dnn.training import CheckpointHook, TrainingJob
+from repro.sim import Environment
+
+
+class SyncCheckpointPolicy(CheckpointHook):
+    """Blocking checkpoint of every rank, every *frequency* iterations."""
+
+    def __init__(self, env: Environment, checkpointer,
+                 frequency: int) -> None:
+        if frequency < 1:
+            raise ValueError(f"frequency must be >= 1, got {frequency}")
+        self.env = env
+        self.checkpointer = checkpointer
+        self.frequency = frequency
+        self.checkpoints_taken = 0
+        self.stall_ns = 0
+
+    def on_job_start(self, job: TrainingJob) -> Generator:
+        prepare = getattr(self.checkpointer, "prepare", None)
+        if prepare is not None:
+            yield from prepare()
+
+    def after_update(self, job: TrainingJob, iteration: int) -> Generator:
+        if iteration % self.frequency:
+            return
+        start = self.env.now
+        for model in job.models:
+            yield from self.checkpointer.checkpoint(model)
+        self.stall_ns += self.env.now - start
+        self.checkpoints_taken += 1

@@ -1,0 +1,24 @@
+"""Portus: the paper's contribution.
+
+A client library (PyTorch-extension equivalent) and a storage-side daemon
+implementing zero-copy DNN checkpointing: a three-level index on PMem
+(ModelTable -> MIndex -> TensorData), one-sided RDMA pulls straight from
+GPU memory, double-mapped checkpoint versions for crash consistency, an
+asynchronous checkpoint policy that hides persistence inside the
+forward/backward phases, a repacking GC, and the Portusctl tool.
+"""
+
+from repro.core.async_ckpt import PortusAsyncPolicy, PortusSyncPolicy
+from repro.core.client import PortusClient
+from repro.core.daemon import PortusDaemon
+from repro.core.modelmap import ModelMap
+from repro.core.repack import repack
+
+__all__ = [
+    "ModelMap",
+    "PortusAsyncPolicy",
+    "PortusClient",
+    "PortusDaemon",
+    "PortusSyncPolicy",
+    "repack",
+]

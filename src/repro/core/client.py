@@ -1,0 +1,154 @@
+"""Portus Client: the framework-extension side (what the PyTorch plugin
+does in the real system).
+
+For each model (or model shard) the client:
+
+1. registers every tensor's GPU memory as an RDMA MR through PeerMem
+   (tensor addresses are fixed for the life of the job, §III-C);
+2. connects a QP to the daemon and ships the model-description packet —
+   per-layer name/dtype/shape/size plus rkey and GPU address — over TCP;
+3. thereafter checkpoints by sending the word DO_CHECKPOINT and waiting
+   for the daemon's completion notification, and restores by sending
+   DO_RESTORE into a freshly constructed "empty" model.
+
+The returned :class:`ModelSession` is the user-facing handle; one session
+per shard, many sessions per client (multi-tenant / multi-GPU).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.core import protocol
+from repro.core.daemon import PortusDaemon
+from repro.dnn.tensor import ModelInstance
+from repro.errors import PortusError, ProtocolError
+from repro.hw.node import Node
+from repro.net.tcp import TcpStack
+from repro.rdma.verbs import connect
+from repro.sim import Environment
+
+
+class ModelSession:
+    """A registered model's handle: checkpoint / restore / unregister."""
+
+    def __init__(self, client: "PortusClient", model: ModelInstance,
+                 conn, qp, mrs: List) -> None:
+        self.client = client
+        self.model = model
+        self.conn = conn
+        self.qp = qp
+        self.mrs = mrs
+        self.checkpoints = 0
+        self.last_checkpoint_ns: Optional[int] = None
+
+    def checkpoint(self, step: Optional[int] = None,
+                   dirty: Optional[List[str]] = None) -> Generator:
+        """Process: one checkpoint; returns the daemon's reply.
+
+        With *dirty* (a list of tensor names) only those tensors are
+        pulled over RDMA; the daemon fills the rest of the new version by
+        copying from the previous one locally on PMem — incremental
+        checkpointing for fine-tuning-style workloads where most
+        parameters are frozen.
+        """
+        if step is None:
+            step = self.model.step
+        message, size = protocol.do_checkpoint(self.model.name, step,
+                                               dirty=dirty)
+        yield from self.conn.send(message, wire_size=size)
+        reply = yield from self.conn.recv()
+        self._check(reply, protocol.OP_CHECKPOINT_DONE)
+        self.checkpoints += 1
+        self.last_checkpoint_ns = reply["duration_ns"]
+        return reply
+
+    def restore(self) -> Generator:
+        """Process: pull the newest valid checkpoint into the model.
+
+        Returns the restored step; the model's tensors now physically
+        hold the checkpointed bytes (the daemon RDMA-wrote them).
+        """
+        message, size = protocol.do_restore(self.model.name)
+        yield from self.conn.send(message, wire_size=size)
+        reply = yield from self.conn.recv()
+        self._check(reply, protocol.OP_RESTORE_DONE)
+        step = reply["step"]
+        self.model.step = step
+        for tensor in self.model.tensors:
+            tensor.step = step
+        return step
+
+    def unregister(self) -> Generator:
+        """Process: drop the model from the daemon and free its PMem."""
+        message, size = protocol.unregister(self.model.name)
+        yield from self.conn.send(message, wire_size=size)
+        reply = yield from self.conn.recv()
+        self._check(reply, protocol.OP_UNREGISTERED)
+        self.conn.close()
+
+    @staticmethod
+    def _check(reply: Dict, expected_op: str) -> None:
+        if reply.get("op") == protocol.OP_ERROR:
+            raise reply["error"]
+        if reply.get("op") != expected_op:
+            raise ProtocolError(
+                f"expected {expected_op}, got {reply.get('op')!r}")
+
+
+class PortusClient:
+    """Per-node client; opens one session per registered model."""
+
+    def __init__(self, env: Environment, node: Node, tcp: TcpStack,
+                 daemon: PortusDaemon) -> None:
+        if node.nic is None:
+            raise PortusError(f"{node.name} has no RNIC")
+        self.env = env
+        self.node = node
+        self.tcp = tcp
+        self.daemon = daemon
+        self.sessions: List[ModelSession] = []
+
+    def register(self, model: ModelInstance) -> Generator:
+        """Process: register *model* (or attach to its persisted index).
+
+        Registers one MR per tensor (PeerMem must be enabled for the GPU
+        by the cluster setup), connects a dedicated QP, and sends the
+        description packet.
+        """
+        mrs = []
+        tensor_infos = []
+        for tensor in model.tensors:
+            mr = yield from self.node.nic.register_mr(tensor.allocation)
+            mrs.append(mr)
+            tensor_infos.append({
+                "name": tensor.spec.name,
+                "dtype": tensor.spec.dtype.name,
+                "shape": list(tensor.spec.shape),
+                "size": tensor.size_bytes,
+                "rkey": mr.rkey,
+                "addr": mr.addr,
+            })
+        client_qp, server_qp = yield from connect(
+            self.env, self.node.nic, self.daemon.node.nic)
+        conn = yield from self.tcp.connect(self.daemon.tcp.hostname,
+                                           self.daemon.port)
+        message, size = protocol.register(model.name, tensor_infos,
+                                          server_qp)
+        yield from conn.send(message, wire_size=size)
+        reply = yield from conn.recv()
+        ModelSession._check(reply, protocol.OP_REGISTERED)
+        session = ModelSession(self, model, conn, client_qp, mrs)
+        self.sessions.append(session)
+        return session
+
+    def list_models(self) -> Generator:
+        """Process: ask the daemon for its model inventory."""
+        conn = yield from self.tcp.connect(self.daemon.tcp.hostname,
+                                           self.daemon.port)
+        message, size = protocol.list_models()
+        yield from conn.send(message, wire_size=size)
+        reply = yield from conn.recv()
+        ModelSession._check(reply, protocol.OP_LIST_REPLY)
+        conn.close()
+        return reply["models"]

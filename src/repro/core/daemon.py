@@ -1,0 +1,377 @@
+"""Portus Daemon: the user-space storage-server process.
+
+Listens on TCP/IPoIB, keeps the three-level index (persistent ModelTable +
+DRAM ModelMap of :class:`ModelEntry`), and serves four operations:
+
+* REGISTER — build (or re-attach to) a model's index: allocate both
+  TensorData versions, write the MIndex, register the server-side MRs,
+  record the client's per-tensor rkeys.
+* DO_CHECKPOINT — stamp the target version ACTIVE, post one one-sided
+  RDMA READ per tensor (concurrently — all tensors of a model pull in
+  parallel), flush, stamp DONE.  Zero serialization, zero staging copies,
+  zero kernel crossings on either side.
+* DO_RESTORE — pick the newest DONE version and push every tensor back
+  with one-sided RDMA WRITEs.
+* UNREGISTER — drop the model and free its extents.
+
+Each connection is served by its own process and each request by its own
+worker; a per-entry compare-and-swap guard (``busy``) keeps concurrent
+checkpoints of the *same* model exclusive while different models proceed
+fully in parallel — the paper's lock-free multi-tenant claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.core import protocol
+from repro.core.consistency import (abort_checkpoint, begin_checkpoint,
+                                    commit_checkpoint, valid_checkpoint)
+from repro.core.index import ModelMeta, ModelTable
+from repro.core.modelmap import ModelMap
+from repro.dnn.tensor import TensorSpec
+from repro.dnn.dtypes import DType
+from repro.errors import (CheckpointInProgress, ModelNotFound, PortusError,
+                          ProtocolError, ReproError)
+from repro.hw.node import CpuSet, StorageNode
+from repro.metrics import CostLedger
+from repro.net.tcp import TcpStack
+from repro.pmem.pool import PmemPool
+from repro.sim import AllOf, Environment
+from repro.units import usecs
+
+DEFAULT_PORT = 9900
+#: Handler dispatch cost per request.
+PER_REQUEST_CPU_NS = usecs(5)
+#: Posting one RDMA work request (WQE build + doorbell amortized).
+PER_WQE_CPU_NS = usecs(0.3)
+#: Final persistence barrier after a pull (flushes ride along with the
+#: incoming DMA; only the fence is serialized at the end).
+FLUSH_BARRIER_NS = usecs(10)
+#: QP send-queue depth: at most this many one-sided WRs in flight per
+#: operation (real RC QPs bound outstanding reads the same way).
+QP_DEPTH = 32
+
+
+def _windows(items, size):
+    """Slice *items* into posting windows of at most *size*."""
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+class ModelEntry:
+    """DRAM state for one registered model."""
+
+    def __init__(self, meta: ModelMeta) -> None:
+        self.meta = meta
+        self.qp = None
+        self.client_tensors: Optional[List[Dict]] = None
+        self.version_mrs: List = [None, None]
+        self.busy = False  # the compare-and-swap guard
+
+    @property
+    def attached(self) -> bool:
+        return self.qp is not None and self.client_tensors is not None
+
+
+class PortusDaemon:
+    """The storage-server daemon over one devdax PMem pool."""
+
+    def __init__(self, env: Environment, node: StorageNode, pool: PmemPool,
+                 tcp: TcpStack, port: int = DEFAULT_PORT,
+                 workers: int = 16) -> None:
+        if node.nic is None:
+            raise PortusError(f"{node.name} has no RNIC")
+        self.env = env
+        self.node = node
+        self.pool = pool
+        self.tcp = tcp
+        self.port = port
+        self.workers = CpuSet(env, workers, name=f"{node.name}.portus")
+        self.model_map = ModelMap()
+        self.table = self._open_or_create_table()
+        self.ledger = CostLedger()
+        self.checkpoints_completed = 0
+        self.restores_completed = 0
+        self.bytes_pulled = 0
+        self.bytes_pushed = 0
+        self._started = False
+
+    # -- bootstrap / recovery ----------------------------------------------------
+
+    def _open_or_create_table(self) -> ModelTable:
+        from repro.core.index import TABLE_TAG
+
+        if self.pool.find_by_tag(TABLE_TAG):
+            table = ModelTable.open(self.pool)
+            self._recover(table)
+            return table
+        return ModelTable.create(self.pool)
+
+    def _recover(self, table: ModelTable) -> None:
+        """Rebuild the DRAM ModelMap from the persistent index."""
+        for name in table.names():
+            meta = ModelMeta.open(self.pool, table.lookup(name))
+            self.model_map.insert(name, ModelEntry(meta))
+
+    def start(self) -> None:
+        """Bind the control port and start accepting (non-blocking)."""
+        if self._started:
+            return
+        listener = self.tcp.listen(self.port)
+        self.env.process(self._accept_loop(listener), name="portus-accept")
+        self._started = True
+
+    def _accept_loop(self, listener) -> Generator:
+        while True:
+            conn = yield from listener.accept()
+            self.env.process(self._serve(conn), name="portus-conn")
+
+    def _serve(self, conn) -> Generator:
+        from repro.errors import ConnectionClosed
+
+        while True:
+            try:
+                message = yield from conn.recv()
+            except ConnectionClosed:
+                return
+            self.env.process(self._dispatch(conn, message),
+                             name=f"portus-{message.get('op')}")
+
+    def _dispatch(self, conn, message: Dict) -> Generator:
+        op = message.get("op")
+        handlers = {
+            protocol.OP_REGISTER: self._handle_register,
+            protocol.OP_DO_CHECKPOINT: self._handle_checkpoint,
+            protocol.OP_DO_RESTORE: self._handle_restore,
+            protocol.OP_UNREGISTER: self._handle_unregister,
+            protocol.OP_LIST: self._handle_list,
+        }
+        handler = handlers.get(op)
+        try:
+            if handler is None:
+                raise ProtocolError(f"unknown op {op!r}")
+            yield from self.workers.execute(PER_REQUEST_CPU_NS)
+            reply, size = yield from handler(message)
+        except ReproError as exc:
+            reply, size = protocol.error_reply(exc)
+        yield from conn.send(reply, wire_size=size)
+
+    # -- entry helpers ----------------------------------------------------------------
+
+    def _entry(self, model_name: str) -> ModelEntry:
+        entry = self.model_map.get(model_name)
+        if entry is None:
+            raise ModelNotFound(model_name)
+        return entry
+
+    def _claim(self, entry: ModelEntry) -> None:
+        """The CAS: atomically take exclusive use of this entry."""
+        if entry.busy:
+            raise CheckpointInProgress(
+                f"{entry.meta.mindex.model_name}: operation already "
+                "in flight")
+        entry.busy = True
+
+    # -- REGISTER ------------------------------------------------------------------------
+
+    def _handle_register(self, message: Dict) -> Generator:
+        name = message["model"]
+        tensors = message["tensors"]
+        qp = message["qp"]
+        specs = [
+            TensorSpec(t["name"], tuple(t["shape"]),
+                       DType.by_name(t["dtype"])) for t in tensors
+        ]
+        entry = self.model_map.get(name)
+        if entry is None:
+            meta = ModelMeta.create(self.pool, name, specs)
+            entry = ModelEntry(meta)
+            self.model_map.insert(name, entry)
+            self.table.insert(name, meta.meta.addr)
+        else:
+            self._validate_attach(entry, specs)
+            # A repacked model may be missing a version slot; rebuild it.
+            entry.meta.ensure_regions()
+        # (Re-)register the server-side MRs over both TensorData versions.
+        for version in (0, 1):
+            if entry.version_mrs[version] is None:
+                entry.version_mrs[version] = yield from \
+                    self.node.nic.register_mr(entry.meta.data_region(version))
+        entry.qp = qp
+        entry.client_tensors = tensors
+        return protocol.reply(protocol.OP_REGISTERED, model=name,
+                              layers=len(tensors))
+
+    def _validate_attach(self, entry: ModelEntry,
+                         specs: List[TensorSpec]) -> None:
+        index = entry.meta.mindex
+        if len(specs) != index.layer_count:
+            raise PortusError(
+                f"{index.model_name}: attach with {len(specs)} tensors, "
+                f"index has {index.layer_count}")
+        for spec, descriptor in zip(specs, index.descriptors):
+            if (spec.name != descriptor.name
+                    or spec.size_bytes != descriptor.size):
+                raise PortusError(
+                    f"{index.model_name}: tensor {spec.name!r} does not "
+                    f"match the persisted index entry {descriptor.name!r}")
+
+    # -- DO_CHECKPOINT --------------------------------------------------------------------
+
+    def _handle_checkpoint(self, message: Dict) -> Generator:
+        name = message["model"]
+        step = message["step"]
+        dirty = message.get("dirty")
+        entry = self._entry(name)
+        if not entry.attached:
+            raise PortusError(f"{name}: no attached client to pull from")
+        self._claim(entry)
+        started = self.env.now
+        try:
+            flags_before = entry.meta.read_flags()
+            previous = flags_before.newest_done()
+            target = begin_checkpoint(entry.meta)
+            region_mr = entry.version_mrs[target]
+            yield from self.workers.execute(
+                PER_WQE_CPU_NS * entry.meta.mindex.layer_count)
+            pairs = list(zip(entry.meta.mindex.descriptors,
+                             entry.client_tensors))
+            if dirty is not None and previous is not None:
+                dirty_set = set(dirty)
+                clean = [d for d, _c in pairs if d.name not in dirty_set]
+                pairs = [(d, c) for d, c in pairs if d.name in dirty_set]
+                yield from self._copy_clean_tensors(entry, previous,
+                                                    target, clean)
+            try:
+                for window in _windows(pairs, QP_DEPTH):
+                    reads = [entry.qp.read(
+                        region_mr, descriptor.offset, client["rkey"],
+                        client["addr"], descriptor.size,
+                        label=f"pull:{name}:{descriptor.name}")
+                        for descriptor, client in window]
+                    yield AllOf(self.env, reads)
+            except ReproError:
+                if not self.pool.closed:
+                    abort_checkpoint(entry.meta, target)
+                raise
+            if self.pool.closed:
+                # The server lost power mid-pull: this daemon instance is
+                # gone; the target slot stays ACTIVE on the (recovered)
+                # pool and will never be trusted by a restore.
+                raise PortusError(
+                    f"{name}: server crashed during checkpoint")
+            entry.meta.data_region(target).persist()
+            yield self.env.timeout(FLUSH_BARRIER_NS)
+            commit_checkpoint(entry.meta, target, step)
+        finally:
+            entry.busy = False
+        duration = self.env.now - started
+        self.ledger.add("rdma_pull", duration)
+        self.checkpoints_completed += 1
+        self.bytes_pulled += sum(descriptor.size
+                                 for descriptor, _client in pairs)
+        return protocol.reply(protocol.OP_CHECKPOINT_DONE, model=name,
+                              step=step, version=target,
+                              duration_ns=duration)
+
+    def _copy_clean_tensors(self, entry: ModelEntry, source: int,
+                            target: int, descriptors) -> Generator:
+        """Incremental mode: complete the new version by copying the
+        unchanged tensors from the previous DONE version — a local
+        PMem-to-PMem move, no network involved."""
+        from repro.sim import Transfer
+
+        total = sum(d.size for d in descriptors)
+        if total == 0:
+            return
+        device = self.pool.device
+        transfer = Transfer(self.env,
+                            [device.read_channel, device.write_channel],
+                            total, label="incremental-local-copy")
+        yield transfer
+        source_region = entry.meta.data_region(source)
+        target_region = entry.meta.data_region(target)
+        for descriptor in descriptors:
+            content = source_region.read(descriptor.offset,
+                                         descriptor.size)
+            target_region.write(descriptor.offset, content)
+
+    # -- DO_RESTORE -----------------------------------------------------------------------
+
+    def _handle_restore(self, message: Dict) -> Generator:
+        name = message["model"]
+        entry = self._entry(name)
+        if not entry.attached:
+            raise PortusError(f"{name}: no attached client to push to")
+        self._claim(entry)
+        started = self.env.now
+        try:
+            version, step = valid_checkpoint(entry.meta)
+            region_mr = entry.version_mrs[version]
+            yield from self.workers.execute(
+                PER_WQE_CPU_NS * entry.meta.mindex.layer_count)
+            pairs = list(zip(entry.meta.mindex.descriptors,
+                             entry.client_tensors))
+            for window in _windows(pairs, QP_DEPTH):
+                writes = [entry.qp.write(
+                    region_mr, descriptor.offset, client["rkey"],
+                    client["addr"], descriptor.size,
+                    label=f"push:{name}:{descriptor.name}")
+                    for descriptor, client in window]
+                yield AllOf(self.env, writes)
+        finally:
+            entry.busy = False
+        duration = self.env.now - started
+        self.ledger.add("rdma_push", duration)
+        self.restores_completed += 1
+        self.bytes_pushed += entry.meta.mindex.total_bytes
+        return protocol.reply(protocol.OP_RESTORE_DONE, model=name,
+                              step=step, version=version,
+                              duration_ns=duration)
+
+    # -- UNREGISTER ------------------------------------------------------------------------
+
+    def _handle_unregister(self, message: Dict) -> Generator:
+        name = message["model"]
+        entry = self._entry(name)
+        self._claim(entry)
+        try:
+            for version in (0, 1):
+                mr = entry.version_mrs[version]
+                if mr is not None:
+                    self.node.nic.deregister_mr(mr)
+            entry.meta.free()
+            self.table.remove(name)
+            self.model_map.delete(name)
+        finally:
+            entry.busy = False
+        return protocol.reply(protocol.OP_UNREGISTERED, model=name)
+        yield  # pragma: no cover - keeps this a generator
+
+    # -- LIST ------------------------------------------------------------------------------
+
+    def _handle_list(self, message: Dict) -> Generator:
+        """Network-facing inventory (what portusctl shows offline)."""
+        from repro.core.index import FLAG_NAMES
+
+        rows = []
+        for name, entry in self.model_map.items():
+            flags = entry.meta.read_flags()
+            rows.append({
+                "model": name,
+                "layers": entry.meta.mindex.layer_count,
+                "bytes": entry.meta.mindex.total_bytes,
+                "attached": entry.attached,
+                "versions": [
+                    {"state": FLAG_NAMES[flags.states[i]],
+                     "step": flags.steps[i]} for i in (0, 1)
+                ],
+            })
+        return protocol.reply(protocol.OP_LIST_REPLY, models=rows)
+        yield  # pragma: no cover - generator protocol
+
+    # -- introspection ----------------------------------------------------------------------
+
+    def models(self) -> List[str]:
+        return self.model_map.keys()

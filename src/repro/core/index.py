@@ -1,0 +1,410 @@
+"""The three-level index on PMem: ModelTable -> MIndex -> TensorData.
+
+Level 1 — :class:`ModelTable`: a persistent sorted array mapping model
+names to the PMem offset of their metadata region (``info_offset`` in the
+paper), stored as one crash-atomic committed record.
+
+Level 2 — :class:`ModelMeta` / :class:`MIndex`: per model, a metadata
+region holding (a) the *version flags* record — two checkpoint slots with
+EMPTY/ACTIVE/DONE states and step stamps, the paper's double-mapping
+mechanism — and (b) the MIndex record: per-tensor name, dtype, shape,
+size, and the PMem address of its bytes in each version.
+
+Level 3 — TensorData: two contiguous data extents per model (one per
+checkpoint version), inside which every tensor has a fixed 64-byte-
+aligned offset.  Contiguity is what lets the daemon register a single
+RDMA MR per version and pull every tensor with one-sided reads into its
+final resting place — the zero-copy, serialization-free property.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.dnn.tensor import TensorSpec
+from repro.dnn.dtypes import DType
+from repro.errors import ModelNotFound, PmemError, PortusError
+from repro.hw.device import Allocation
+from repro.pmem.layout import CommittedRecord, blob_capacity
+from repro.pmem.pool import PmemPool
+
+FLAG_EMPTY = 0
+FLAG_ACTIVE = 1
+FLAG_DONE = 2
+
+FLAG_NAMES = {FLAG_EMPTY: "EMPTY", FLAG_ACTIVE: "ACTIVE", FLAG_DONE: "DONE"}
+
+_ALIGN = 64
+
+_FLAGS = struct.Struct("<BBQQ")  # v0_state, v1_state, v0_step, v1_step
+_FLAGS_SLOT = blob_capacity(_FLAGS.size) + 32  # headroom inside the slot
+
+_MINDEX_HEADER = struct.Struct("<64sIQQQ")  # name, count, v0, v1, total
+_TENSOR_ENTRY = struct.Struct("<64s16sB8QQQ")  # name, dtype, ndim, dims, size, offset
+
+MAX_DIMS = 8
+NAME_BYTES = 64
+META_TAG = "portus-meta"
+DATA_TAG = "portus-data"
+TABLE_TAG = "portus-modeltable"
+
+
+def _pack_name(name: str, width: int = NAME_BYTES) -> bytes:
+    raw = name.encode("utf-8")
+    if len(raw) > width:
+        raise PortusError(f"name too long for index: {name!r}")
+    return raw
+
+
+def _unpack_name(raw: bytes) -> str:
+    return raw.rstrip(b"\x00").decode("utf-8")
+
+
+class TensorDescriptor:
+    """One MIndex entry: everything needed to address a tensor's bytes."""
+
+    def __init__(self, name: str, dtype_name: str, shape: Tuple[int, ...],
+                 size: int, offset: int) -> None:
+        if len(shape) > MAX_DIMS:
+            raise PortusError(f"{name}: more than {MAX_DIMS} dims")
+        self.name = name
+        self.dtype_name = dtype_name
+        self.shape = tuple(shape)
+        self.size = size
+        self.offset = offset
+
+    @classmethod
+    def from_spec(cls, spec: TensorSpec, offset: int) -> "TensorDescriptor":
+        return cls(spec.name, spec.dtype.name, spec.shape, spec.size_bytes,
+                   offset)
+
+    def to_spec(self) -> TensorSpec:
+        return TensorSpec(self.name, self.shape, DType.by_name(self.dtype_name))
+
+    def pack(self) -> bytes:
+        dims = list(self.shape) + [0] * (MAX_DIMS - len(self.shape))
+        return _TENSOR_ENTRY.pack(_pack_name(self.name),
+                                  _pack_name(self.dtype_name, 16),
+                                  len(self.shape), *dims, self.size,
+                                  self.offset)
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int) -> "TensorDescriptor":
+        fields = _TENSOR_ENTRY.unpack_from(data, offset)
+        name, dtype_raw, ndim = fields[0], fields[1], fields[2]
+        dims = fields[3:3 + ndim]
+        size, tensor_offset = fields[11], fields[12]
+        return cls(_unpack_name(name), _unpack_name(dtype_raw), tuple(dims),
+                   size, tensor_offset)
+
+    def __repr__(self) -> str:
+        return f"<TensorDescriptor {self.name} {self.shape} " \
+               f"{self.dtype_name} @+{self.offset}>"
+
+
+def layout_tensors(specs: List[TensorSpec]) -> Tuple[List[TensorDescriptor],
+                                                     int]:
+    """Assign aligned offsets inside a TensorData region; returns
+    (descriptors, region size)."""
+    descriptors = []
+    cursor = 0
+    for spec in specs:
+        descriptors.append(TensorDescriptor.from_spec(spec, cursor))
+        cursor += (spec.size_bytes + _ALIGN - 1) // _ALIGN * _ALIGN
+    return descriptors, max(cursor, _ALIGN)
+
+
+class MIndex:
+    """The level-2 record: tensor table + the two TensorData addresses."""
+
+    def __init__(self, model_name: str,
+                 descriptors: List[TensorDescriptor],
+                 version_addrs: Tuple[int, int], total_bytes: int) -> None:
+        self.model_name = model_name
+        self.descriptors = descriptors
+        self.version_addrs = version_addrs
+        self.total_bytes = total_bytes
+
+    @property
+    def layer_count(self) -> int:
+        return len(self.descriptors)
+
+    def descriptor(self, tensor_name: str) -> TensorDescriptor:
+        for descriptor in self.descriptors:
+            if descriptor.name == tensor_name:
+                return descriptor
+        raise PortusError(
+            f"{self.model_name}: no tensor named {tensor_name!r}")
+
+    def paddr(self, descriptor: TensorDescriptor, version: int) -> int:
+        """The persistent address of a tensor's bytes in *version*."""
+        return self.version_addrs[version] + descriptor.offset
+
+    def pack(self) -> bytes:
+        header = _MINDEX_HEADER.pack(_pack_name(self.model_name),
+                                     len(self.descriptors),
+                                     self.version_addrs[0],
+                                     self.version_addrs[1],
+                                     self.total_bytes)
+        return header + b"".join(d.pack() for d in self.descriptors)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "MIndex":
+        name, count, v0, v1, total = _MINDEX_HEADER.unpack_from(data)
+        descriptors = [
+            TensorDescriptor.unpack(
+                data, _MINDEX_HEADER.size + i * _TENSOR_ENTRY.size)
+            for i in range(count)
+        ]
+        return cls(_unpack_name(name), descriptors, (v0, v1), total)
+
+    @staticmethod
+    def slot_size(tensor_count: int) -> int:
+        return blob_capacity(_MINDEX_HEADER.size
+                             + tensor_count * _TENSOR_ENTRY.size) + 32
+
+
+class VersionFlags:
+    """The double-mapping state: per-version flag + step stamp."""
+
+    def __init__(self, states: Tuple[int, int] = (FLAG_EMPTY, FLAG_EMPTY),
+                 steps: Tuple[int, int] = (0, 0)) -> None:
+        self.states = list(states)
+        self.steps = list(steps)
+
+    def pack(self) -> bytes:
+        return _FLAGS.pack(self.states[0], self.states[1], self.steps[0],
+                           self.steps[1])
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "VersionFlags":
+        s0, s1, t0, t1 = _FLAGS.unpack_from(data)
+        return cls((s0, s1), (t0, t1))
+
+    def newest_done(self) -> Optional[int]:
+        """Version index holding the newest completed checkpoint."""
+        done = [i for i in (0, 1) if self.states[i] == FLAG_DONE]
+        if not done:
+            return None
+        return max(done, key=lambda i: self.steps[i])
+
+    def checkpoint_target(self) -> int:
+        """Where the next checkpoint goes: never the newest DONE slot."""
+        newest = self.newest_done()
+        if newest is None:
+            return 0
+        return 1 - newest
+
+    def __repr__(self) -> str:
+        parts = [f"v{i}={FLAG_NAMES[self.states[i]]}@{self.steps[i]}"
+                 for i in (0, 1)]
+        return f"<VersionFlags {' '.join(parts)}>"
+
+
+class ModelMeta:
+    """A model's metadata region plus its two TensorData extents."""
+
+    def __init__(self, pool: PmemPool, meta: Allocation,
+                 mindex: MIndex, data_regions: Tuple[Allocation,
+                                                     Allocation]) -> None:
+        self.pool = pool
+        self.meta = meta
+        self.mindex = mindex
+        self.data_regions = data_regions
+        self._flags_record = CommittedRecord(meta, 0, _FLAGS_SLOT)
+        self._mindex_record = CommittedRecord(
+            meta, 2 * _FLAGS_SLOT, MIndex.slot_size(mindex.layer_count))
+
+    # -- creation / recovery --------------------------------------------------------
+
+    @classmethod
+    def create(cls, pool: PmemPool, model_name: str,
+               specs: List[TensorSpec]) -> "ModelMeta":
+        """Allocate the metadata region and both TensorData versions."""
+        descriptors, region_size = layout_tensors(specs)
+        meta_size = 2 * _FLAGS_SLOT + 2 * MIndex.slot_size(len(descriptors))
+        meta = pool.alloc(meta_size, tag=f"{META_TAG}/{_short(model_name)}")
+        data0 = pool.alloc(region_size,
+                           tag=f"{DATA_TAG}/{_short(model_name)}/v0")
+        data1 = pool.alloc(region_size,
+                           tag=f"{DATA_TAG}/{_short(model_name)}/v1")
+        mindex = MIndex(model_name, descriptors, (data0.addr, data1.addr),
+                        sum(d.size for d in descriptors))
+        instance = cls(pool, meta, mindex, (data0, data1))
+        instance._mindex_record.write(mindex.pack())
+        instance.write_flags(VersionFlags())
+        return instance
+
+    @classmethod
+    def open(cls, pool: PmemPool, meta_addr: int) -> "ModelMeta":
+        """Rebuild from PMem after a daemon restart or crash.
+
+        A version address of 0 marks a slot the repacking tool reclaimed;
+        its region handle is None until :meth:`ensure_regions` re-creates
+        it on the next attach.
+        """
+        meta = pool.device.allocation_at(meta_addr)
+        # The MIndex slot size depends on the tensor count, which we only
+        # learn from the record itself; probe with the maximum remaining
+        # span of the metadata region.
+        probe_slot = (meta.size - 2 * _FLAGS_SLOT) // 2
+        probe = CommittedRecord(meta, 2 * _FLAGS_SLOT, probe_slot)
+        committed = probe.read()
+        if committed is None:
+            raise PmemError(f"MIndex record unreadable at {meta_addr:#x}")
+        mindex = MIndex.unpack(committed[0])
+        data_regions = tuple(
+            pool.device.allocation_at(addr) if addr else None
+            for addr in mindex.version_addrs)
+        return cls(pool, meta, mindex, data_regions)
+
+    def ensure_regions(self) -> None:
+        """Re-allocate any version slot the repacking tool reclaimed."""
+        regions = list(self.data_regions)
+        changed = False
+        for version in (0, 1):
+            if regions[version] is None:
+                _descriptors, region_size = layout_tensors(
+                    [d.to_spec() for d in self.mindex.descriptors])
+                regions[version] = self.pool.alloc(
+                    region_size,
+                    tag=f"{DATA_TAG}/{_short(self.mindex.model_name)}"
+                        f"/v{version}")
+                changed = True
+        if changed:
+            self.data_regions = tuple(regions)
+            self.mindex.version_addrs = tuple(
+                region.addr for region in self.data_regions)
+            self._mindex_record.write(self.mindex.pack())
+
+    def drop_version(self, version: int) -> int:
+        """Free one version's TensorData; returns the bytes reclaimed."""
+        region = self.data_regions[version]
+        if region is None:
+            return 0
+        reclaimed = region.size
+        self.pool.free(region)
+        regions = list(self.data_regions)
+        regions[version] = None
+        self.data_regions = tuple(regions)
+        addrs = list(self.mindex.version_addrs)
+        addrs[version] = 0
+        self.mindex.version_addrs = tuple(addrs)
+        self._mindex_record.write(self.mindex.pack())
+        flags = self.read_flags()
+        flags.states[version] = FLAG_EMPTY
+        flags.steps[version] = 0
+        self.write_flags(flags)
+        return reclaimed
+
+    # -- flags ------------------------------------------------------------------------
+
+    def read_flags(self) -> VersionFlags:
+        committed = self._flags_record.read()
+        if committed is None:
+            return VersionFlags()
+        return VersionFlags.unpack(committed[0])
+
+    def write_flags(self, flags: VersionFlags) -> None:
+        self._flags_record.write(flags.pack())
+
+    # -- tensor data access ---------------------------------------------------------
+
+    def data_region(self, version: int) -> Allocation:
+        return self.data_regions[version]
+
+    def read_tensor(self, descriptor: TensorDescriptor, version: int):
+        return self.data_regions[version].read(descriptor.offset,
+                                               descriptor.size)
+
+    def free(self) -> None:
+        """Release every extent (unregister / repack)."""
+        for region in self.data_regions:
+            if region is not None:
+                self.pool.free(region)
+        self.pool.free(self.meta)
+
+
+def _short(name: str) -> str:
+    """Fit model names into AllocTable tags."""
+    return name[-40:]
+
+
+class ModelTable:
+    """Level 1: the persistent sorted name -> meta_addr array."""
+
+    _ENTRY = struct.Struct("<64sQ")
+    _COUNT = struct.Struct("<I")
+
+    def __init__(self, record: CommittedRecord, max_models: int) -> None:
+        self._record = record
+        self.max_models = max_models
+        self._entries: Dict[str, int] = {}
+
+    @staticmethod
+    def slot_size(max_models: int) -> int:
+        return blob_capacity(ModelTable._COUNT.size
+                             + max_models * ModelTable._ENTRY.size) + 32
+
+    @classmethod
+    def create(cls, pool: PmemPool, max_models: int = 512) -> "ModelTable":
+        region = pool.alloc(2 * cls.slot_size(max_models), tag=TABLE_TAG)
+        table = cls(CommittedRecord(region, 0, cls.slot_size(max_models)),
+                    max_models)
+        table._commit()
+        return table
+
+    @classmethod
+    def open(cls, pool: PmemPool, max_models: int = 512) -> "ModelTable":
+        regions = pool.find_by_tag(TABLE_TAG)
+        if not regions:
+            raise PmemError("no Portus ModelTable on this pool")
+        table = cls(CommittedRecord(regions[0], 0,
+                                    cls.slot_size(max_models)), max_models)
+        committed = table._record.read()
+        if committed is not None:
+            payload = committed[0]
+            (count,) = cls._COUNT.unpack_from(payload)
+            for i in range(count):
+                raw_name, addr = cls._ENTRY.unpack_from(
+                    payload, cls._COUNT.size + i * cls._ENTRY.size)
+                table._entries[_unpack_name(raw_name)] = addr
+        return table
+
+    def _commit(self) -> None:
+        names = sorted(self._entries)
+        payload = self._COUNT.pack(len(names)) + b"".join(
+            self._ENTRY.pack(_pack_name(name), self._entries[name])
+            for name in names)
+        self._record.write(payload)
+
+    def insert(self, name: str, meta_addr: int) -> None:
+        if len(self._entries) >= self.max_models and \
+                name not in self._entries:
+            raise PmemError(f"ModelTable full ({self.max_models} models)")
+        self._entries[name] = meta_addr
+        self._commit()
+
+    def remove(self, name: str) -> int:
+        try:
+            addr = self._entries.pop(name)
+        except KeyError:
+            raise ModelNotFound(name) from None
+        self._commit()
+        return addr
+
+    def lookup(self, name: str) -> int:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ModelNotFound(name) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

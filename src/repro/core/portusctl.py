@@ -1,0 +1,143 @@
+"""Portusctl: inspect and export checkpoints stored on a PMem device.
+
+Mirrors the paper's command-line tool (§IV-b): ``view`` lists every model
+on a device with its versions and flags; ``dump`` exports a model's
+newest valid checkpoint out of the index into the generic torch.save-like
+file format, so checkpoints taken through the zero-copy path remain
+shareable with ordinary framework users.
+
+The library functions (:func:`view`, :func:`dump`, :func:`dump_to_file`)
+operate on a :class:`~repro.pmem.pool.PmemPool`; the installed ``portusctl``
+console script drives them against a small self-contained simulation (the
+library has no access to physical Optane hardware) and can write the
+dumped checkpoint to a real host file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Generator, List, Optional
+
+from repro.core.consistency import checkpoint_states
+from repro.core.index import FLAG_NAMES, ModelMeta, ModelTable
+from repro.core.repack import repack
+from repro.dnn.serialize import serialize_entries
+from repro.errors import NoValidCheckpoint
+from repro.hw.content import Content
+from repro.pmem.pool import PmemPool
+from repro.units import fmt_bytes
+
+
+def view(pool: PmemPool) -> List[Dict]:
+    """One row per model: name, layers, bytes, per-version states."""
+    table = ModelTable.open(pool)
+    rows = []
+    for name in table.names():
+        meta = ModelMeta.open(pool, table.lookup(name))
+        flags = checkpoint_states(meta)
+        rows.append({
+            "model": name,
+            "layers": meta.mindex.layer_count,
+            "bytes": meta.mindex.total_bytes,
+            "versions": [
+                {"state": FLAG_NAMES[flags.states[i]],
+                 "step": flags.steps[i]} for i in (0, 1)
+            ],
+        })
+    return rows
+
+
+def dump(pool: PmemPool, model_name: str) -> Content:
+    """Export the newest valid checkpoint as a generic file image."""
+    from repro.core.consistency import valid_checkpoint
+
+    table = ModelTable.open(pool)
+    meta = ModelMeta.open(pool, table.lookup(model_name))
+    version, _step = valid_checkpoint(meta)
+    if meta.data_regions[version] is None:
+        raise NoValidCheckpoint(
+            f"{model_name}: version {version} was repacked away")
+    entries = [(descriptor.to_spec(),
+                meta.read_tensor(descriptor, version))
+               for descriptor in meta.mindex.descriptors]
+    return serialize_entries(entries)
+
+
+def dump_to_file(pool: PmemPool, model_name: str, fs,
+                 path: str) -> Generator:
+    """Process: dump straight onto a (simulated) filesystem."""
+    image = dump(pool, model_name)
+    yield from fs.write_file(path, image)
+    return image.size
+
+
+def format_view(rows: List[Dict]) -> str:
+    """The ``portusctl view`` table as text."""
+    lines = [f"{'MODEL':40} {'LAYERS':>7} {'SIZE':>10}  VERSIONS"]
+    for row in rows:
+        versions = "  ".join(
+            f"v{i}:{v['state']}@{v['step']}"
+            for i, v in enumerate(row["versions"]))
+        lines.append(f"{row['model']:40} {row['layers']:>7} "
+                     f"{fmt_bytes(row['bytes']):>10}  {versions}")
+    return "\n".join(lines)
+
+
+# --- console entry point --------------------------------------------------------
+
+
+def _demo_pool():
+    """A self-contained pool with two checkpointed models on it."""
+    from repro.harness.cluster import PaperCluster
+
+    cluster = PaperCluster()
+    pool = cluster.portus_pool
+
+    def scenario(env):
+        session_a = yield from cluster.portus_register("resnet50", gpu=0)
+        session_b = yield from cluster.portus_register("alexnet", gpu=1)
+        session_a.model.update_step(100)
+        session_b.model.update_step(40)
+        yield from session_a.checkpoint(100)
+        yield from session_b.checkpoint(40)
+
+    cluster.run(scenario)
+    return cluster, pool
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="portusctl",
+        description="Inspect and export Portus checkpoints on a PMem "
+                    "device (demo simulation).")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("view", help="list models stored on the device")
+    dump_parser = sub.add_parser(
+        "dump", help="export a checkpoint to a generic file")
+    dump_parser.add_argument("model")
+    dump_parser.add_argument("filename",
+                             help="host path for the exported checkpoint")
+    sub.add_parser("repack", help="reclaim stale checkpoint versions")
+    args = parser.parse_args(argv)
+
+    _cluster, pool = _demo_pool()
+    if args.command == "view":
+        print(format_view(view(pool)))
+    elif args.command == "dump":
+        image = dump(pool, args.model)
+        with open(args.filename, "wb") as handle:
+            for chunk in image.iter_chunks():
+                handle.write(chunk)
+        print(f"dumped {args.model} ({fmt_bytes(image.size)}) "
+              f"to {args.filename}")
+    elif args.command == "repack":
+        report = repack(pool)
+        print(f"reclaimed {fmt_bytes(report.bytes_reclaimed)} "
+              f"(compacted {len(report.models_compacted)}, "
+              f"dropped {len(report.models_dropped)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Control-plane messages between Portus Client and Portus Daemon.
+
+Everything rides the TCP/IPoIB socket; data never does.  Each constructor
+returns ``(message_dict, wire_size_bytes)`` so the sender charges a
+realistic wire size — the registration packet grows with the tensor
+count (it carries per-layer metadata and rkeys, §III-B), while the
+operational messages are tiny ("the word DO_CHECKPOINT", §III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+OP_REGISTER = "REGISTER"
+OP_REGISTERED = "REGISTERED"
+OP_DO_CHECKPOINT = "DO_CHECKPOINT"
+OP_CHECKPOINT_DONE = "CHECKPOINT_DONE"
+OP_DO_RESTORE = "DO_RESTORE"
+OP_RESTORE_DONE = "RESTORE_DONE"
+OP_UNREGISTER = "UNREGISTER"
+OP_UNREGISTERED = "UNREGISTERED"
+OP_LIST = "LIST"
+OP_LIST_REPLY = "LIST_REPLY"
+OP_ERROR = "ERROR"
+
+_BASE_SIZE = 96
+_PER_TENSOR_SIZE = 128  # name, dtype, shape, size, rkey, addr
+
+
+def register(model_name: str, tensors: List[Dict[str, Any]],
+             server_qp) -> Tuple[Dict[str, Any], int]:
+    """The model description packet: one entry per tensor, plus the QP the
+    daemon will pull through (standing in for the out-of-band QP number
+    exchange of the real system)."""
+    message = {"op": OP_REGISTER, "model": model_name, "tensors": tensors,
+               "qp": server_qp}
+    return message, _BASE_SIZE + _PER_TENSOR_SIZE * len(tensors)
+
+
+def do_checkpoint(model_name: str, step: int,
+                  dirty: List[str] = None) -> Tuple[Dict[str, Any], int]:
+    """*dirty* (optional) lists the tensors that changed since the last
+    checkpoint — the incremental mode (Check-N-Run-style); the daemon
+    completes the new version with local copies for the rest."""
+    message = {"op": OP_DO_CHECKPOINT, "model": model_name, "step": step}
+    size = 64
+    if dirty is not None:
+        message["dirty"] = list(dirty)
+        size += 40 * len(dirty)
+    return message, size
+
+
+def do_restore(model_name: str) -> Tuple[Dict[str, Any], int]:
+    return {"op": OP_DO_RESTORE, "model": model_name}, 64
+
+
+def unregister(model_name: str) -> Tuple[Dict[str, Any], int]:
+    return {"op": OP_UNREGISTER, "model": model_name}, 64
+
+
+def list_models() -> Tuple[Dict[str, Any], int]:
+    return {"op": OP_LIST}, 64
+
+
+def reply(op: str, **fields: Any) -> Tuple[Dict[str, Any], int]:
+    message = {"op": op}
+    message.update(fields)
+    return message, 64
+
+
+def error_reply(exc: BaseException) -> Tuple[Dict[str, Any], int]:
+    return {"op": OP_ERROR, "error": exc}, 128

@@ -1,0 +1,78 @@
+"""The repacking tool (paper §III-D2, Fig. 7).
+
+Double mapping costs one extra checkpoint's worth of PMem per model.
+When a job finishes (only the newest version will ever be restored) or
+crashes mid-checkpoint (the ACTIVE slot holds incomplete data), the
+repacking tool reclaims the slack:
+
+* a model with at least one DONE version keeps exactly its newest DONE
+  slot; the stale/incomplete slot's TensorData is freed;
+* a model with *no* DONE version has nothing restorable — the whole model
+  is dropped (optional, on by default for crashed-first-checkpoint jobs);
+* allocator-level leakage from crash windows was already reclaimed at
+  pool open; freeing extents coalesces holes in the device free list,
+  which is the "aggregate valid checkpoints" effect of Fig. 7.
+
+The tool runs offline against the pool (as Portusctl does) or online
+against an idle daemon; the paper notes it is rarely needed because PMem
+capacity dwarfs checkpoint sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.index import ModelMeta, ModelTable
+from repro.pmem.pool import PmemPool
+
+
+class RepackReport:
+    """What a repack pass did."""
+
+    def __init__(self) -> None:
+        self.models_compacted: List[str] = []
+        self.models_dropped: List[str] = []
+        self.bytes_reclaimed = 0
+
+    def __repr__(self) -> str:
+        return f"<RepackReport compacted={len(self.models_compacted)} " \
+               f"dropped={len(self.models_dropped)} " \
+               f"reclaimed={self.bytes_reclaimed}B>"
+
+
+def repack(pool: PmemPool, table: Optional[ModelTable] = None,
+           drop_invalid: bool = True,
+           skip: Optional[List[str]] = None) -> RepackReport:
+    """Reclaim stale checkpoint versions; returns a report.
+
+    *skip* names models to leave untouched (e.g. jobs still running when
+    repacking online).
+    """
+    if table is None:
+        table = ModelTable.open(pool)
+    skip_set = set(skip or ())
+    report = RepackReport()
+    for name in table.names():
+        if name in skip_set:
+            continue
+        meta = ModelMeta.open(pool, table.lookup(name))
+        flags = meta.read_flags()
+        newest = flags.newest_done()
+        if newest is None:
+            if drop_invalid:
+                reclaimed = sum(region.size
+                                for region in meta.data_regions
+                                if region is not None) + meta.meta.size
+                meta.free()
+                table.remove(name)
+                report.models_dropped.append(name)
+                report.bytes_reclaimed += reclaimed
+            continue
+        # The slot that is not the newest DONE version is, by definition,
+        # either older, incomplete (ACTIVE at crash), or empty: reclaim it.
+        stale = 1 - newest
+        reclaimed = meta.drop_version(stale)
+        if reclaimed:
+            report.models_compacted.append(name)
+            report.bytes_reclaimed += reclaimed
+    return report

@@ -1,0 +1,24 @@
+"""DNN training substrate: tensors on simulated devices, the paper's model
+zoo (Table II architectures with exact parameter counts), Megatron-style
+GPT sharding, optimizers, a torch.save-like serialization format, and the
+F/B/U training loop with checkpoint hooks."""
+
+from repro.dnn.dtypes import DType, float16, float32, int64
+from repro.dnn.models import MODEL_BUILDERS, ModelSpec, build_model
+from repro.dnn.tensor import ModelInstance, Tensor, TensorSpec
+from repro.dnn.training import CheckpointHook, TrainingJob
+
+__all__ = [
+    "CheckpointHook",
+    "DType",
+    "MODEL_BUILDERS",
+    "ModelInstance",
+    "ModelSpec",
+    "Tensor",
+    "TensorSpec",
+    "TrainingJob",
+    "build_model",
+    "float16",
+    "float32",
+    "int64",
+]

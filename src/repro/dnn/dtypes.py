@@ -1,0 +1,39 @@
+"""Tensor element types."""
+
+from __future__ import annotations
+
+
+class DType:
+    """An element type with a stable wire name and item size."""
+
+    _registry = {}
+
+    def __init__(self, name: str, itemsize: int) -> None:
+        self.name = name
+        self.itemsize = itemsize
+        DType._registry[name] = self
+
+    @classmethod
+    def by_name(cls, name: str) -> "DType":
+        try:
+            return cls._registry[name]
+        except KeyError:
+            raise ValueError(f"unknown dtype {name!r}") from None
+
+    def __repr__(self) -> str:
+        return f"<dtype {self.name}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+float64 = DType("float64", 8)
+float32 = DType("float32", 4)
+float16 = DType("float16", 2)
+bfloat16 = DType("bfloat16", 2)
+int64 = DType("int64", 8)
+int32 = DType("int32", 4)
+int8 = DType("int8", 1)

@@ -1,0 +1,151 @@
+"""Megatron-style GPT configurations and tensor/pipeline sharding.
+
+The paper scales GPT from 1.5 B to 22.4 B parameters on 16 A40s (tensor
+parallel within a node, pipeline parallel across the two nodes).  This
+module builds the full-model tensor list for a config and splits it into
+per-rank shards the way Megatron-LM does:
+
+* column-parallel: QKV projection and MLP fc1 split on the output dim;
+* row-parallel: attention output projection and MLP fc2 split on the
+  input dim;
+* vocab-parallel embedding split on the vocab dim;
+* layer norms replicated on every tensor-parallel rank;
+* transformer layers divided contiguously across pipeline stages, with
+  the embeddings on the first stage and the final norm on the last.
+
+Every shard is a plain :class:`~repro.dnn.models.ModelSpec`, so a shard
+checkpoint is just another model to Portus — which is precisely the
+paper's "each MIndex maps to a model shard on a specific GPU" design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dnn.layers import layernorm, linear, parameter
+from repro.dnn.models import ModelSpec
+from repro.dnn.tensor import TensorSpec
+from repro.units import msecs
+
+
+class GptConfig:
+    """One Megatron GPT size point."""
+
+    def __init__(self, name: str, hidden: int, layers: int, heads: int,
+                 seq_length: int = 2048, vocab_size: int = 50304) -> None:
+        if hidden % heads:
+            raise ValueError(f"{name}: hidden {hidden} not divisible by "
+                             f"heads {heads}")
+        self.name = name
+        self.hidden = hidden
+        self.layers = layers
+        self.heads = heads
+        self.seq_length = seq_length
+        self.vocab_size = vocab_size
+
+    def param_count(self) -> int:
+        h, layers = self.hidden, self.layers
+        per_layer = 12 * h * h + 13 * h
+        return (layers * per_layer + self.vocab_size * h
+                + self.seq_length * h + 2 * h)
+
+    #: Per-iteration wall time scales ~linearly with parameters at fixed
+    #: cluster size; anchor: the paper's Fig. 2 puts the 22.4 B model at a
+    #: 41 % checkpoint share with a ~120 s checkpoint per 100 iterations,
+    #: implying ~1.78 s per iteration => ~79.5 ms per billion parameters.
+    NS_PER_BILLION_PARAMS = msecs(79.5)
+
+    def iteration_ns(self) -> int:
+        return int(self.param_count() / 1e9 * self.NS_PER_BILLION_PARAMS)
+
+    def __repr__(self) -> str:
+        return f"<GptConfig {self.name} H={self.hidden} L={self.layers} " \
+               f"params={self.param_count() / 1e9:.2f}B>"
+
+
+#: The evaluation's size sweep (Fig. 14).  Named by nominal billions.
+GPT_CONFIGS: Dict[str, GptConfig] = {
+    "gpt-1.5b": GptConfig("gpt-1.5b", hidden=1600, layers=48, heads=25,
+                          seq_length=1024),
+    "gpt-4.2b": GptConfig("gpt-4.2b", hidden=3072, layers=36, heads=24),
+    "gpt-8.3b": GptConfig("gpt-8.3b", hidden=4096, layers=40, heads=32),
+    "gpt-10.4b": GptConfig("gpt-10.4b", hidden=4608, layers=40, heads=36),
+    "gpt-12.9b": GptConfig("gpt-12.9b", hidden=5120, layers=40, heads=40),
+    "gpt-22.4b": GptConfig("gpt-22.4b", hidden=6144, layers=49, heads=48),
+}
+
+
+def _layer_specs(prefix: str, hidden: int, tp: int) -> List[TensorSpec]:
+    """One transformer layer's tensors for a tensor-parallel rank."""
+    specs: List[TensorSpec] = []
+    specs += layernorm(f"{prefix}.input_layernorm", hidden)
+    specs += linear(f"{prefix}.attention.query_key_value", hidden,
+                    3 * hidden // tp)
+    specs += [TensorSpec(f"{prefix}.attention.dense.weight",
+                         (hidden, hidden // tp)),
+              TensorSpec(f"{prefix}.attention.dense.bias", (hidden,))]
+    specs += layernorm(f"{prefix}.post_attention_layernorm", hidden)
+    specs += linear(f"{prefix}.mlp.dense_h_to_4h", hidden,
+                    4 * hidden // tp)
+    specs += [TensorSpec(f"{prefix}.mlp.dense_4h_to_h.weight",
+                         (hidden, 4 * hidden // tp)),
+              TensorSpec(f"{prefix}.mlp.dense_4h_to_h.bias", (hidden,))]
+    return specs
+
+
+def build_gpt(config: GptConfig) -> ModelSpec:
+    """The unsharded model (tp=1, one pipeline stage)."""
+    shards = shard_gpt(config, tensor_parallel=1, pipeline_parallel=1)
+    (shard,) = shards
+    return ModelSpec(config.name, shard.tensors,
+                     iteration_ns=config.iteration_ns())
+
+
+def shard_gpt(config: GptConfig, tensor_parallel: int,
+              pipeline_parallel: int) -> List[ModelSpec]:
+    """Per-rank shard specs, ordered pipeline-major then tensor rank.
+
+    The returned list has ``pipeline_parallel * tensor_parallel`` entries;
+    entry ``p * tp + t`` is pipeline stage *p*, tensor rank *t* — matching
+    Megatron's ``mp_rank_{t:02d}_{p:03d}`` checkpoint naming.
+    """
+    if config.hidden % tensor_parallel:
+        raise ValueError(
+            f"hidden {config.hidden} not divisible by tp={tensor_parallel}")
+    if config.vocab_size % tensor_parallel:
+        raise ValueError(
+            f"vocab {config.vocab_size} not divisible by tp={tensor_parallel}")
+    layers_per_stage = config.layers // pipeline_parallel
+    remainder = config.layers % pipeline_parallel
+    shards: List[ModelSpec] = []
+    layer_cursor = 0
+    for stage in range(pipeline_parallel):
+        stage_layers = layers_per_stage + (1 if stage < remainder else 0)
+        for rank in range(tensor_parallel):
+            specs: List[TensorSpec] = []
+            if stage == 0:
+                specs += parameter(
+                    "embedding.word_embeddings.weight",
+                    (config.vocab_size // tensor_parallel, config.hidden))
+                specs += parameter(
+                    "embedding.position_embeddings.weight",
+                    (config.seq_length, config.hidden))
+            for layer in range(layer_cursor, layer_cursor + stage_layers):
+                specs += _layer_specs(f"language_model.layers.{layer}",
+                                      config.hidden, tensor_parallel)
+            if stage == pipeline_parallel - 1:
+                specs += layernorm("language_model.final_layernorm",
+                                   config.hidden)
+            name = f"{config.name}/mp_rank_{rank:02d}_{stage:03d}"
+            shards.append(ModelSpec(name, specs,
+                                    iteration_ns=config.iteration_ns()))
+        layer_cursor += stage_layers
+    return shards
+
+
+def total_checkpoint_bytes(config: GptConfig, tensor_parallel: int,
+                           pipeline_parallel: int) -> int:
+    """Aggregate checkpoint volume across every shard."""
+    return sum(shard.total_bytes
+               for shard in shard_gpt(config, tensor_parallel,
+                                      pipeline_parallel))

@@ -1,0 +1,103 @@
+"""torch.save-like checkpoint serialization (and its cost model).
+
+The on-disk format mirrors the structure that matters: a real, parseable
+metadata header (JSON: per-tensor name/dtype/shape/offset) followed by the
+raw tensor payloads.  The header bytes are genuine — Portusctl dumps and
+the restore path parse them — while payloads stay virtual content.
+
+The *time* serialization takes is the thing the paper eliminates; it is
+charged by the caller via :func:`serialization_time_ns`, calibrated from
+Table I: pickling runs at ~1.73 GB/s on one core, plus a per-tensor
+object-graph cost.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, List, Tuple
+
+from repro.dnn.dtypes import DType
+from repro.dnn.tensor import Tensor, TensorSpec
+from repro.hw.content import ByteContent, CompositeContent, Content
+from repro.units import gbytes, transfer_time_ns, usecs
+
+_MAGIC = b"RPTCKPT1"
+_LEN = struct.Struct("<Q")
+
+#: Single-core pickle throughput over tensor payloads (Table I anchor:
+#: serialization is 41.7 % of a BERT checkpoint).
+SERIALIZATION_BPS = gbytes(1.73)
+#: Unpickling is lighter: metadata parse + storage rebuild.
+DESERIALIZATION_BPS = gbytes(6.7)
+#: Per-tensor object-graph walk (pickler memoization, storage headers).
+PER_TENSOR_NS = usecs(25)
+
+
+def serialization_time_ns(total_bytes: int, tensor_count: int) -> int:
+    """CPU time to serialize a state dict of this shape."""
+    return (transfer_time_ns(total_bytes, SERIALIZATION_BPS)
+            + tensor_count * PER_TENSOR_NS)
+
+
+def deserialization_time_ns(total_bytes: int, tensor_count: int) -> int:
+    """CPU time to rebuild a state dict from checkpoint bytes."""
+    return (transfer_time_ns(total_bytes, DESERIALIZATION_BPS)
+            + tensor_count * PER_TENSOR_NS)
+
+
+def _header_entry(spec: TensorSpec, offset: int) -> Dict:
+    return {"name": spec.name, "dtype": spec.dtype.name,
+            "shape": list(spec.shape), "size": spec.size_bytes,
+            "offset": offset}
+
+
+def serialize_entries(entries: List[Tuple[TensorSpec, Content]]) -> Content:
+    """Build a checkpoint file image from ``(spec, content)`` pairs."""
+    header_entries = []
+    offset = 0
+    for spec, _content in entries:
+        header_entries.append(_header_entry(spec, offset))
+        offset += spec.size_bytes
+    header = json.dumps({"tensors": header_entries}).encode("utf-8")
+    parts: List[Content] = [
+        ByteContent(_MAGIC + _LEN.pack(len(header)) + header)]
+    parts += [content for _spec, content in entries]
+    return CompositeContent(parts)
+
+
+def serialize_state_dict(tensors: List[Tensor]) -> Content:
+    """Build the checkpoint file image for a list of live tensors."""
+    return serialize_entries([(t.spec, t.content()) for t in tensors])
+
+
+def file_size_for(specs: List[TensorSpec]) -> int:
+    """Exact serialized size for a spec list (header + payloads)."""
+    entries = []
+    offset = 0
+    for spec in specs:
+        entries.append(_header_entry(spec, offset))
+        offset += spec.size_bytes
+    header = json.dumps({"tensors": entries}).encode("utf-8")
+    return len(_MAGIC) + _LEN.size + len(header) + offset
+
+
+def deserialize_state_dict(content: Content) -> Dict[str, Tuple[TensorSpec,
+                                                                Content]]:
+    """Parse a checkpoint image back into per-tensor specs and payloads."""
+    prefix = content.slice(0, len(_MAGIC) + _LEN.size).to_bytes()
+    if prefix[:len(_MAGIC)] != _MAGIC:
+        raise ValueError("not a checkpoint file (bad magic)")
+    (header_len,) = _LEN.unpack(prefix[len(_MAGIC):])
+    header_start = len(_MAGIC) + _LEN.size
+    header = json.loads(
+        content.slice(header_start, header_len).to_bytes().decode("utf-8"))
+    payload_base = header_start + header_len
+    out: Dict[str, Tuple[TensorSpec, Content]] = {}
+    for entry in header["tensors"]:
+        spec = TensorSpec(entry["name"], tuple(entry["shape"]),
+                          DType.by_name(entry["dtype"]))
+        payload = content.slice(payload_base + entry["offset"],
+                                entry["size"])
+        out[spec.name] = (spec, payload)
+    return out

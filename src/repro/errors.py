@@ -1,0 +1,149 @@
+"""Exception hierarchy shared across the library.
+
+Every subsystem raises exceptions rooted at :class:`ReproError` so callers
+can distinguish library failures from programming errors.  The tree mirrors
+the subsystem layout: simulation, hardware, RDMA, PMem, filesystem, and the
+Portus protocol each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# --- simulation engine -------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event engine failures."""
+
+
+class SimulationDeadlock(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class ProcessInterrupted(SimulationError):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to ``interrupt()``.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+# --- hardware / devices ------------------------------------------------------
+
+
+class HardwareError(ReproError):
+    """Base class for device-level failures."""
+
+
+class OutOfMemoryError(HardwareError):
+    """A device allocation did not fit."""
+
+
+class InvalidAddressError(HardwareError):
+    """An access touched bytes outside any live allocation."""
+
+
+# --- RDMA ---------------------------------------------------------------------
+
+
+class RdmaError(ReproError):
+    """Base class for RDMA verb failures."""
+
+
+class MemoryRegionError(RdmaError):
+    """Registration failure or access outside a registered region."""
+
+
+class RkeyViolation(RdmaError):
+    """A one-sided operation presented a stale or wrong rkey."""
+
+
+class QpStateError(RdmaError):
+    """Operation posted to a queue pair in the wrong state."""
+
+
+# --- persistent memory ---------------------------------------------------------
+
+
+class PmemError(ReproError):
+    """Base class for persistent-memory pool failures."""
+
+
+class PoolCorruption(PmemError):
+    """Superblock/checksum validation failed when opening a pool."""
+
+
+class PoolExhausted(PmemError):
+    """The allocator could not satisfy a request."""
+
+
+# --- filesystems ----------------------------------------------------------------
+
+
+class FsError(ReproError):
+    """Base class for simulated filesystem failures."""
+
+
+class FileNotFound(FsError):
+    """Path lookup failed."""
+
+
+class FileExists(FsError):
+    """Exclusive create hit an existing path."""
+
+
+class NoSpace(FsError):
+    """The backing device ran out of blocks."""
+
+
+class IsADirectory(FsError):
+    """A file operation was applied to a directory path."""
+
+
+class NotADirectory(FsError):
+    """A path component was not a directory."""
+
+
+# --- network --------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for fabric / control-plane failures."""
+
+
+class ConnectionClosed(NetworkError):
+    """The peer closed the control-plane connection."""
+
+
+# --- Portus protocol --------------------------------------------------------------
+
+
+class PortusError(ReproError):
+    """Base class for Portus client/daemon failures."""
+
+
+class ModelNotFound(PortusError):
+    """Lookup of a model name in the index found nothing."""
+
+
+class ModelAlreadyRegistered(PortusError):
+    """A registration collided with a live model of the same name."""
+
+
+class NoValidCheckpoint(PortusError):
+    """Restore found no completed (flag == DONE) checkpoint version."""
+
+
+class CheckpointInProgress(PortusError):
+    """A conflicting operation raced with an active checkpoint."""
+
+
+class ProtocolError(PortusError):
+    """Malformed or out-of-order control-plane message."""

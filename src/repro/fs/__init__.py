@@ -1,0 +1,13 @@
+"""Filesystem substrates: VFS base, local ext4-on-NVMe, ext4-DAX on PMem,
+and the BeeGFS-like distributed filesystem baseline."""
+
+from repro.fs.dax import DaxFilesystem
+from repro.fs.ext4 import LocalExtFilesystem
+from repro.fs.vfs import FileHandle, Filesystem
+
+__all__ = [
+    "DaxFilesystem",
+    "FileHandle",
+    "Filesystem",
+    "LocalExtFilesystem",
+]

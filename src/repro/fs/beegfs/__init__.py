@@ -1,0 +1,15 @@
+"""BeeGFS-like distributed filesystem (the paper's shared-FS baseline).
+
+A :class:`BeegfsServer` daemon runs on the storage node, serving metadata
+and chunk I/O over two-sided RPC-over-RDMA, with an ext4-DAX filesystem
+on the fsdax PMem namespace as its storage target — exactly the
+"BeeGFS-PMEM" stack of the paper's evaluation.  :class:`BeegfsClient` is
+the kernel-module client on each compute node: every VFS operation pays a
+syscall, a staging copy, and one or more RPC round trips.
+"""
+
+from repro.fs.beegfs.client import BeegfsClient
+from repro.fs.beegfs.server import BeegfsServer
+from repro.fs.beegfs.striping import StripePattern
+
+__all__ = ["BeegfsClient", "BeegfsServer", "StripePattern"]

@@ -1,0 +1,64 @@
+"""Stripe mapping: file offsets -> (target index, chunk-local ranges).
+
+BeeGFS spreads each file across storage targets in fixed-size chunks
+(512 KiB by default).  The paper's server exposes a single PMem target,
+but the mapping is implemented generally and the multi-target behaviour is
+unit-tested, because stripe width is one of the knobs the ablation
+benches turn.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.units import kib
+
+DEFAULT_CHUNK_BYTES = kib(512)
+
+
+class StripePattern:
+    """RAID-0 style striping of a byte stream over *targets* targets."""
+
+    def __init__(self, targets: int = 1,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> None:
+        if targets < 1:
+            raise ValueError(f"need at least one target, got {targets}")
+        if chunk_bytes < 1:
+            raise ValueError(f"chunk size must be positive, got {chunk_bytes}")
+        self.targets = targets
+        self.chunk_bytes = chunk_bytes
+
+    def target_of(self, offset: int) -> int:
+        """Which target stores the byte at *offset*."""
+        return (offset // self.chunk_bytes) % self.targets
+
+    def split(self, offset: int,
+              length: int) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(target, file_offset, length)`` pieces covering a range.
+
+        Pieces are yielded in file order and never cross a chunk boundary.
+        """
+        cursor = offset
+        end = offset + length
+        while cursor < end:
+            chunk_end = (cursor // self.chunk_bytes + 1) * self.chunk_bytes
+            piece_end = min(end, chunk_end)
+            yield (self.target_of(cursor), cursor, piece_end - cursor)
+            cursor = piece_end
+
+    def per_target_bytes(self, offset: int, length: int) -> List[int]:
+        """Total bytes each target receives for a range."""
+        totals = [0] * self.targets
+        for target, _off, piece in self.split(offset, length):
+            totals[target] += piece
+        return totals
+
+    def target_local_offset(self, file_offset: int) -> int:
+        """Offset inside the owning target's chunk file.
+
+        BeeGFS stores a file's chunks back-to-back in each target's chunk
+        file: global chunk *k* lands at local chunk ``k // targets``.
+        """
+        chunk_index = file_offset // self.chunk_bytes
+        local_chunk = chunk_index // self.targets
+        return local_chunk * self.chunk_bytes + file_offset % self.chunk_bytes

@@ -1,0 +1,6 @@
+"""Experiment harness: the paper's testbed, calibration constants, and
+one runner per table/figure."""
+
+from repro.harness.cluster import PaperCluster
+
+__all__ = ["PaperCluster"]

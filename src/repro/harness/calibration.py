@@ -1,0 +1,143 @@
+"""Every calibrated constant in one place, with provenance.
+
+The reproduction targets the paper's *shapes* — who wins, by what factor,
+where curves saturate — so the timing model is anchored to numbers the
+paper itself reports, plus public hardware specs.  Derivation:
+
+**Anchors taken verbatim from the paper**
+
+* GPU BAR read peak: 5.8 GB/s; "30 % less than DRAM" ⇒ DRAM RDMA-read
+  peak ≈ 8.3 GB/s (Fig. 10 and §V-B).
+* BAR does not affect writes (Fig. 10d) ⇒ GPU PCIe write ≈ 9.0 GB/s.
+* RDMA saturates above 512 KiB messages (§V-B) ⇒ one-sided op latency of
+  a few microseconds.
+* NVMe max sequential write 2.7 GB/s (the Samsung datacenter SSD cited).
+* Table I fixes the *ratios* of the traditional datapath:
+  GPU→MM 15.5 %, serialization 41.7 %, transmission 30.0 %, DAX 12.8 %.
+
+**Solving Table I**
+
+Percentages only fix ratios; one absolute anchor scales everything.  We
+pin serialization at 1.73 GB/s (single-core pickle over large float
+buffers, consistent with CheckFreq's measurements), giving per-byte costs
+
+=====================  ==========  ===================================
+phase                  ns/byte     implied rate
+=====================  ==========  ===================================
+GPU → main memory      0.2149      4.65 GB/s pageable cuMemcpyDtoH
+serialization          0.5780      1.73 GB/s single-core pickle
+transmission           0.4159      2.40 GB/s two-sided RPCoRDMA stream
+server DAX write       0.1774      5.64 GB/s kernel nt-store copy
+total                  1.3862      0.72 GB/s end-to-end torch.save
+=====================  ==========  ===================================
+
+Transmission decomposes into client staging (8.0 GB/s), wire (8.3 GB/s
+effective DMA-read), and per-512 KiB-chunk server CPU (89 µs).  Against
+Portus's pull at the 5.8 GB/s BAR limit (0.1724 ns/B), the baseline's
+1.3862 ns/B predicts an ~8.0x checkpoint speedup before per-operation
+overheads — matching the paper's 8.49x average and 9.23x small-file
+maximum (Fig. 11).
+
+**Training-side anchors**
+
+GPT iteration time: Fig. 2 puts the 22.4 B model's checkpoint share at
+41 % with one checkpoint per 100 iterations and a ~120 s checkpoint
+(Fig. 14) ⇒ ~1.78 s/iteration ⇒ 79.5 ms per billion parameters.  ViT's
+24.9 % at one checkpoint per 83 iterations ⇒ ~62 ms/iteration.
+
+This module re-exports the constants from their owning modules so tests
+and docs have one authoritative view; change them there, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.torch_save import CUDA_D2H_PAGEABLE_BPS, CUDA_H2D_BPS
+from repro.dnn.serialize import (DESERIALIZATION_BPS, PER_TENSOR_NS,
+                                 SERIALIZATION_BPS)
+from repro.fs.beegfs.client import STAGING_COPY_BPS
+from repro.fs.dax import DAX_COPY_BPS, DAX_READ_BPS
+from repro.fs.ext4 import BLOCK_REQUEST_BYTES, PAGE_CACHE_COPY_BPS
+from repro.rdma.rpc import DEFAULT_CHUNK_BYTES, DEFAULT_CHUNK_CPU_NS
+from repro.units import SECOND, gbytes
+
+#: Fig. 10 anchors (see repro.hw.devices / repro.rdma.nic defaults).
+GPU_BAR_READ_BPS = gbytes(5.8)
+GPU_PCIE_WRITE_BPS = gbytes(9.0)
+NIC_DMA_READ_BPS = gbytes(8.3)
+NIC_DMA_WRITE_BPS = gbytes(9.0)
+WIRE_EFFECTIVE_BPS = gbytes(11.75)
+NVME_WRITE_BPS = gbytes(2.7)
+
+#: Paper Table I, reproduced by bench_table1.
+TABLE1_PAPER = {
+    "gpu_to_dram": 0.155,
+    "serialization": 0.417,
+    "transmission": 0.300,
+    "dax_write": 0.128,
+}
+
+
+def expected_table1_fractions() -> Dict[str, float]:
+    """Table I as *predicted* by the calibration constants.
+
+    The measured breakdown (bench_table1) should land on these, and these
+    should land on the paper's percentages — the test suite checks both
+    links of that chain.
+    """
+    per_byte = {
+        "gpu_to_dram": 1 / CUDA_D2H_PAGEABLE_BPS,
+        "serialization": 1 / SERIALIZATION_BPS,
+        "transmission": (1 / STAGING_COPY_BPS + 1 / NIC_DMA_READ_BPS
+                         + DEFAULT_CHUNK_CPU_NS / DEFAULT_CHUNK_BYTES
+                         / SECOND),
+        "dax_write": 1 / DAX_COPY_BPS,
+    }
+    total = sum(per_byte.values())
+    return {phase: cost / total for phase, cost in per_byte.items()}
+
+
+def baseline_checkpoint_ns_per_byte() -> float:
+    """End-to-end torch.save -> BeeGFS-PMem cost per byte (large files)."""
+    return sum((1 / CUDA_D2H_PAGEABLE_BPS, 1 / SERIALIZATION_BPS,
+                1 / STAGING_COPY_BPS, 1 / NIC_DMA_READ_BPS,
+                DEFAULT_CHUNK_CPU_NS / DEFAULT_CHUNK_BYTES / SECOND,
+                1 / DAX_COPY_BPS)) * SECOND
+
+
+def portus_checkpoint_ns_per_byte() -> float:
+    """Portus pull cost per byte: the BAR read bound."""
+    return SECOND / GPU_BAR_READ_BPS
+
+
+def predicted_checkpoint_speedup() -> float:
+    """The large-model asymptotic speedup the calibration implies."""
+    return baseline_checkpoint_ns_per_byte() / portus_checkpoint_ns_per_byte()
+
+
+__all__ = [
+    "BLOCK_REQUEST_BYTES",
+    "CUDA_D2H_PAGEABLE_BPS",
+    "CUDA_H2D_BPS",
+    "DAX_COPY_BPS",
+    "DAX_READ_BPS",
+    "DEFAULT_CHUNK_BYTES",
+    "DEFAULT_CHUNK_CPU_NS",
+    "DESERIALIZATION_BPS",
+    "GPU_BAR_READ_BPS",
+    "GPU_PCIE_WRITE_BPS",
+    "NIC_DMA_READ_BPS",
+    "NIC_DMA_WRITE_BPS",
+    "NVME_WRITE_BPS",
+    "PAGE_CACHE_COPY_BPS",
+    "PER_TENSOR_NS",
+    "SERIALIZATION_BPS",
+    "STAGING_COPY_BPS",
+    "TABLE1_PAPER",
+    "WIRE_EFFECTIVE_BPS",
+    "baseline_checkpoint_ns_per_byte",
+    "expected_table1_fractions",
+    "portus_checkpoint_ns_per_byte",
+    "predicted_checkpoint_speedup",
+]

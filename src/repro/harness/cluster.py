@@ -1,0 +1,166 @@
+"""The paper's testbed, wired up (§V-A).
+
+* **Client-Volta**: 2x EPYC 7742 (128 cores), 1 TiB DRAM, 4x V100-32GB,
+  ConnectX-5 — the single-GPU checkpoint/restore experiments.
+* **Client-Ampere** x2: 2x Xeon 5318Y (64 cores), 768 GiB DRAM,
+  8x A40-48GB each, ConnectX-6 — the Megatron GPT experiments.
+* **Server**: the AEP box — 6x 256 GB Optane DIMMs, half in fsdax mode
+  under ext4-DAX + BeeGFS, half in devdax mode owned by Portus; one
+  ConnectX-5.  Everything hangs off one 100 Gbps IB switch.
+
+The cluster also owns the storage stacks (Portus daemon + pool, BeeGFS
+server, local ext4 on each client's NVMe) and exposes process helpers so
+experiments read like the paper's method sections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Union
+
+from repro.core.client import PortusClient
+from repro.core.daemon import PortusDaemon
+from repro.dnn.models import ModelSpec
+from repro.dnn.zoo import build_zoo_model as build_model
+from repro.dnn.tensor import ModelInstance
+from repro.fs.beegfs import BeegfsClient, BeegfsServer
+from repro.fs.dax import DaxFilesystem
+from repro.fs.ext4 import LocalExtFilesystem
+from repro.hw.node import ComputeNode, StorageNode
+from repro.net.fabric import Fabric
+from repro.net.tcp import TcpStack
+from repro.pmem.pool import PmemPool
+from repro.rdma.nic import Rnic
+from repro.rdma.peer_mem import enable_peer_memory
+from repro.sim import Environment, RandomStreams
+from repro.units import gib
+
+
+class PaperCluster:
+    """One fully-wired instance of the evaluation testbed."""
+
+    def __init__(self, seed: int = 0, ampere_nodes: int = 2,
+                 start_daemon: bool = True) -> None:
+        env = Environment()
+        self.env = env
+        self.rand = RandomStreams(seed)
+        self.fabric = Fabric(env)
+
+        # Storage server (AEP).
+        self.server = StorageNode(env, "server", cores=72,
+                                  dram_capacity=gib(192))
+        Rnic(env, self.server, self.fabric, name="server")
+        self.server_tcp = TcpStack(env, self.fabric, self.server.nic.port,
+                                   "server")
+
+        # Client-Volta.
+        self.volta = ComputeNode(env, "volta", cores=128,
+                                 dram_capacity=gib(1024), gpu_count=4,
+                                 gpu_memory=gib(32))
+        Rnic(env, self.volta, self.fabric, name="volta")
+        self.volta_tcp = TcpStack(env, self.fabric, self.volta.nic.port,
+                                  "volta")
+
+        # Client-Ampere nodes.
+        self.amperes: List[ComputeNode] = []
+        self._tcp: Dict[str, TcpStack] = {"server": self.server_tcp,
+                                          "volta": self.volta_tcp}
+        for i in range(ampere_nodes):
+            node = ComputeNode(env, f"ampere{i}", cores=128,
+                               dram_capacity=gib(768), gpu_count=8,
+                               gpu_memory=gib(48))
+            Rnic(env, node, self.fabric, name=f"ampere{i}")
+            self._tcp[node.name] = TcpStack(env, self.fabric, node.nic.port,
+                                            node.name)
+            self.amperes.append(node)
+
+        # PeerMem on every GPU of every client.
+        for node in [self.volta] + self.amperes:
+            for gpu in node.gpus:
+                enable_peer_memory(node.nic, gpu)
+
+        # Storage stacks.
+        self.portus_pool = PmemPool.format(self.server.pmem_devdax,
+                                           max_extents=65536)
+        self.daemon = PortusDaemon(env, self.server, self.portus_pool,
+                                   self.server_tcp)
+        if start_daemon:
+            self.daemon.start()
+        self.beegfs_backing = DaxFilesystem(env, self.server.pmem_fsdax)
+        self.beegfs_server = BeegfsServer(env, self.server,
+                                          self.beegfs_backing)
+        self._beegfs_mounts: Dict[str, BeegfsClient] = {}
+        self.volta_ext4 = LocalExtFilesystem(env, self.volta.nvme)
+
+        self._portus_clients: Dict[str, PortusClient] = {}
+        self._model_counter = 0
+
+    # -- process helpers -------------------------------------------------------------
+
+    def run(self, scenario, until: Optional[int] = None):
+        """Run a scenario generator function (taking env) to completion."""
+        return self.env.run_process(self.env.process(scenario(self.env)),
+                                    until=until)
+
+    def tcp_of(self, node: ComputeNode) -> TcpStack:
+        return self._tcp[node.name]
+
+    def beegfs_mount(self, node: Optional[ComputeNode] = None) -> Generator:
+        """Process: mount (or reuse) BeeGFS on *node* (default Volta)."""
+        node = node or self.volta
+        mount = self._beegfs_mounts.get(node.name)
+        if mount is None:
+            mount = yield from BeegfsClient.mount(self.env, node,
+                                                  self.beegfs_server)
+            self._beegfs_mounts[node.name] = mount
+        return mount
+
+    def portus_client(self, node: Optional[ComputeNode] = None) -> PortusClient:
+        node = node or self.volta
+        client = self._portus_clients.get(node.name)
+        if client is None:
+            client = PortusClient(self.env, node, self.tcp_of(node),
+                                  self.daemon)
+            self._portus_clients[node.name] = client
+        return client
+
+    def materialize(self, model: Union[str, ModelSpec],
+                    node: Optional[ComputeNode] = None, gpu: int = 0,
+                    seed: Optional[int] = None,
+                    instance_name: Optional[str] = None) -> ModelInstance:
+        """Put a model's tensors on a GPU (step-0 weights)."""
+        node = node or self.volta
+        spec = build_model(model) if isinstance(model, str) else model
+        if seed is None:
+            self._model_counter += 1
+            seed = self._model_counter
+        return ModelInstance.materialize(instance_name or spec.name,
+                                         spec.tensors, node.gpus[gpu],
+                                         model_seed=seed)
+
+    def portus_register(self, model: Union[str, ModelSpec, ModelInstance],
+                        node: Optional[ComputeNode] = None,
+                        gpu: int = 0) -> Generator:
+        """Process: materialize (if needed) and register with the daemon."""
+        node = node or self.volta
+        if isinstance(model, ModelInstance):
+            instance = model
+        else:
+            instance = self.materialize(model, node=node, gpu=gpu)
+        client = self.portus_client(node)
+        session = yield from client.register(instance)
+        return session
+
+    def restart_daemon(self) -> None:
+        """Kill and restart the daemon process: the pool is re-opened and
+        the index recovered from PMem (ModelMap rebuilt)."""
+        pool = PmemPool.open(self.server.pmem_devdax)
+        self.portus_pool = pool
+        self.daemon = PortusDaemon(self.env, self.server, pool,
+                                   self.server_tcp,
+                                   port=self.daemon.port + 1)
+        self.daemon.start()
+        self._portus_clients.clear()
+
+    def crash_server(self) -> None:
+        """Power-fail the PMem pool (unflushed data lost or torn)."""
+        self.portus_pool.crash(self.rand.stream("crash"))

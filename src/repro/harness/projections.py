@@ -1,0 +1,45 @@
+"""Training-time projections (the paper's §V-E back-of-envelope claims).
+
+The paper extrapolates its Fig. 14 result: checkpointing every half hour
+for 24 hours, Portus saves >1.5 hours of wall clock versus torch.save;
+for a week- or month-long run the savings grow to tens of hours.  These
+helpers compute those projections from measured per-checkpoint times so
+the bench can print the same table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.units import HOUR, MINUTE
+
+
+def checkpoints_in(run_duration_ns: int, interval_ns: int) -> int:
+    """How many checkpoints a run of this length takes at this cadence."""
+    if interval_ns <= 0:
+        raise ValueError(f"interval must be positive, got {interval_ns}")
+    return max(0, run_duration_ns // interval_ns)
+
+
+def time_saved_ns(run_duration_ns: int, interval_ns: int,
+                  baseline_checkpoint_ns: int,
+                  portus_checkpoint_ns: int) -> int:
+    """Wall clock recovered by switching the checkpointer."""
+    per_checkpoint = baseline_checkpoint_ns - portus_checkpoint_ns
+    return checkpoints_in(run_duration_ns, interval_ns) * per_checkpoint
+
+
+def paper_projection_table(baseline_checkpoint_ns: int,
+                           portus_checkpoint_ns: int,
+                           interval_ns: int = 30 * MINUTE
+                           ) -> Dict[str, float]:
+    """Hours saved for the paper's three horizons (24 h / 1 week / 1 month)
+    at a checkpoint every *interval_ns* (default: half an hour)."""
+    horizons = {"24h": 24 * HOUR, "1 week": 7 * 24 * HOUR,
+                "1 month": 30 * 24 * HOUR}
+    return {
+        label: time_saved_ns(duration, interval_ns,
+                             baseline_checkpoint_ns,
+                             portus_checkpoint_ns) / HOUR
+        for label, duration in horizons.items()
+    }

@@ -1,0 +1,35 @@
+"""Simulated hardware: memory devices, GPUs, PMem DIMMs, NVMe, PCIe, nodes.
+
+Every device is byte-addressable through a :class:`~repro.hw.device.MemoryDevice`
+address space.  Data is carried as :class:`~repro.hw.content.Content` values:
+small payloads are real bytes, large tensor payloads are deterministic
+*patterns* that can be sliced, compared, checksummed and (for small windows)
+materialized — so a 90 GB GPT checkpoint moves through the full datapath
+without allocating 90 GB of host RAM, while remaining bit-exactly verifiable.
+"""
+
+from repro.hw.content import (ByteContent, CompositeContent, Content,
+                              PatternContent, SegmentBuffer, TornContent,
+                              ZeroContent)
+from repro.hw.device import Allocation, MemoryDevice
+from repro.hw.devices import DramDevice, GpuMemory, NvmeDevice, PmemDimm
+from repro.hw.node import ComputeNode, CpuSet, StorageNode
+
+__all__ = [
+    "Allocation",
+    "ByteContent",
+    "CompositeContent",
+    "ComputeNode",
+    "Content",
+    "CpuSet",
+    "DramDevice",
+    "GpuMemory",
+    "MemoryDevice",
+    "NvmeDevice",
+    "PatternContent",
+    "PmemDimm",
+    "SegmentBuffer",
+    "StorageNode",
+    "TornContent",
+    "ZeroContent",
+]

@@ -1,0 +1,103 @@
+"""Concrete device types with defaults taken from the paper's testbed.
+
+Bandwidth defaults are the calibration anchors described in DESIGN.md §5;
+they can all be overridden per instance, and the single source of truth for
+experiment runs is :mod:`repro.harness.calibration`.
+"""
+
+from __future__ import annotations
+
+from repro.hw.device import MemoryDevice
+from repro.sim import Environment, SharedChannel
+from repro.units import gbytes, gib, usecs
+
+# (SharedChannel is used for the GPU PCIe channels and the PMem write
+# channel's congestion-aware replacement.)
+
+
+class DramDevice(MemoryDevice):
+    """Host DRAM.  Effectively never the bandwidth bottleneck."""
+
+    def __init__(self, env: Environment, name: str = "dram",
+                 capacity: int = gib(1024),
+                 read_bw_bps: float = gbytes(80.0),
+                 write_bw_bps: float = gbytes(60.0)) -> None:
+        super().__init__(env, name, capacity, read_bw_bps, write_bw_bps)
+
+
+class GpuMemory(MemoryDevice):
+    """GPU HBM reached through a PCIe BAR window.
+
+    The device channels model HBM itself (fast).  The PCIe attachment —
+    including the paper's key observation that BAR-mapped *reads* of GPU
+    memory cap at 5.8 GB/s while writes are unaffected (Fig. 10) — lives in
+    the per-GPU ``pcie_read`` / ``pcie_write`` channels, which every DMA
+    path through this GPU must traverse.
+    """
+
+    def __init__(self, env: Environment, name: str = "gpu0",
+                 capacity: int = gib(32),
+                 hbm_bw_bps: float = gbytes(800.0),
+                 pcie_read_bw_bps: float = gbytes(5.8),
+                 pcie_write_bw_bps: float = gbytes(9.0)) -> None:
+        super().__init__(env, name, capacity, hbm_bw_bps, hbm_bw_bps)
+        self.pcie_read = SharedChannel(env, pcie_read_bw_bps,
+                                       f"{name}.pcie.read")
+        self.pcie_write = SharedChannel(env, pcie_write_bw_bps,
+                                        f"{name}.pcie.write")
+
+
+class PmemDimm(MemoryDevice):
+    """An interleaved Optane DC namespace (n x 256 GB DIMMs).
+
+    Defaults model the paper's 3-DIMM interleave set: sequential read
+    ~6.8 GB/s per DIMM; writes sustain ~2.8 GB/s per DIMM for a few
+    sequential streams but degrade to ~2.0 GB/s per DIMM when many writers
+    interleave on the 256 B XPLine (the well-documented Optane contention
+    behaviour; Izraelevitz et al. / Wei et al., both cited by the paper).
+    A single checkpoint stream therefore sees PMem ≈ DRAM as a target
+    (Fig. 10), while sixteen concurrent GPT shards see the ~6 GB/s
+    aggregate ingest behind the paper's ~15 s Fig. 14 dump.  The slower
+    5.64 GB/s "DAX write" of Table I is a property of the fsdax
+    *filesystem* path, modeled in :mod:`repro.fs.dax`.
+    """
+
+    durable_tracking = True
+
+    def __init__(self, env: Environment, name: str = "pmem0",
+                 dimms: int = 3, dimm_capacity: int = gib(256),
+                 read_bw_per_dimm_bps: float = gbytes(6.8),
+                 write_bw_per_dimm_bps: float = gbytes(2.8),
+                 congested_write_bw_per_dimm_bps: float = gbytes(2.0),
+                 congestion_threshold: int = 4) -> None:
+        if dimms < 1:
+            raise ValueError(f"need at least one DIMM, got {dimms}")
+        super().__init__(
+            env, name, dimms * dimm_capacity,
+            read_bw_bps=dimms * read_bw_per_dimm_bps,
+            write_bw_bps=dimms * write_bw_per_dimm_bps,
+            read_latency_ns=usecs(0.3), write_latency_ns=usecs(0.1))
+        self.write_channel = SharedChannel(
+            env, dimms * write_bw_per_dimm_bps, f"{name}.write",
+            congested_capacity_bps=dimms * congested_write_bw_per_dimm_bps,
+            congestion_threshold=congestion_threshold)
+        self.dimms = dimms
+
+
+class NvmeDevice(MemoryDevice):
+    """A PCIe 4.0 NVMe SSD behind the kernel block layer.
+
+    Write bandwidth defaults to the 2.7 GB/s maximum sequential write of
+    the datacenter SSD the paper cites; ``io_latency_ns`` is the per-request
+    block-layer + device latency each submitted I/O pays.
+    """
+
+    def __init__(self, env: Environment, name: str = "nvme0",
+                 capacity: int = gib(3840),
+                 read_bw_bps: float = gbytes(6.5),
+                 write_bw_bps: float = gbytes(2.7),
+                 io_latency_ns: int = usecs(80)) -> None:
+        super().__init__(env, name, capacity, read_bw_bps, write_bw_bps,
+                         read_latency_ns=io_latency_ns,
+                         write_latency_ns=io_latency_ns)
+        self.io_latency_ns = io_latency_ns

@@ -1,0 +1,6 @@
+"""Network substrate: InfiniBand fabric and the TCP/IPoIB control plane."""
+
+from repro.net.fabric import Fabric, Port
+from repro.net.tcp import TcpConnection, TcpListener, TcpStack
+
+__all__ = ["Fabric", "Port", "TcpConnection", "TcpListener", "TcpStack"]

@@ -1,0 +1,21 @@
+"""Persistent-memory management: pool, crash-safe records, extent allocator.
+
+This is the devdax substrate Portus builds its three-level index on: a
+:class:`PmemPool` formats a raw PMem namespace with a superblock and a
+crash-safe metadata area, and the :class:`ExtentAllocator` hands out data
+regions whose ownership records (the paper's *AllocTable*) survive power
+loss through double-slot committed writes.
+"""
+
+from repro.pmem.alloc import AllocRecord, ExtentAllocator
+from repro.pmem.layout import CommittedRecord, pack_blob, unpack_blob
+from repro.pmem.pool import PmemPool
+
+__all__ = [
+    "AllocRecord",
+    "CommittedRecord",
+    "ExtentAllocator",
+    "PmemPool",
+    "pack_blob",
+    "unpack_blob",
+]

@@ -1,0 +1,161 @@
+"""The persistent extent allocator (the paper's *Allocator* + *AllocTable*).
+
+Every data region Portus places on PMem is recorded in the AllocTable — a
+:class:`~repro.pmem.layout.CommittedRecord` holding the full extent list —
+so ownership survives power loss.  The update order is the crash-safe one:
+
+* allocate: reserve device space first, then commit the table.  A crash
+  between the two leaks device space, which :meth:`reconcile` (and the
+  repacking tool) reclaims by diffing live allocations against the table.
+* free: commit the table first, then release device space.  A crash
+  between the two also only leaks.
+
+Space is therefore never *lost* to corruption, only temporarily leaked in
+a direction the GC can always fix.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional
+
+from repro.errors import PmemError, PoolExhausted
+from repro.hw.device import Allocation, MemoryDevice
+from repro.pmem.layout import CommittedRecord, blob_capacity
+
+_ENTRY = struct.Struct("<QQ64s")
+_COUNT = struct.Struct("<I")
+
+TAG_BYTES = 64
+
+
+class AllocRecord:
+    """One committed extent: address, size, owner tag."""
+
+    def __init__(self, addr: int, size: int, tag: str) -> None:
+        if len(tag.encode("utf-8")) > TAG_BYTES:
+            raise PmemError(f"allocation tag too long: {tag!r}")
+        self.addr = addr
+        self.size = size
+        self.tag = tag
+
+    def pack(self) -> bytes:
+        return _ENTRY.pack(self.addr, self.size, self.tag.encode("utf-8"))
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int) -> "AllocRecord":
+        addr, size, raw_tag = _ENTRY.unpack_from(data, offset)
+        return cls(addr, size, raw_tag.rstrip(b"\x00").decode("utf-8"))
+
+    def __repr__(self) -> str:
+        return f"<AllocRecord {self.tag!r}@{self.addr:#x}+{self.size}>"
+
+
+def table_slot_size(max_extents: int) -> int:
+    """Slot bytes needed for a table of *max_extents* entries."""
+    return blob_capacity(_COUNT.size + max_extents * _ENTRY.size)
+
+
+class ExtentAllocator:
+    """Allocates device extents and persists the AllocTable."""
+
+    def __init__(self, device: MemoryDevice, table: CommittedRecord,
+                 max_extents: int) -> None:
+        self.device = device
+        self._table = table
+        self.max_extents = max_extents
+        self._records: Dict[int, AllocRecord] = {}
+        self._live: Dict[int, Allocation] = {}
+
+    # -- persistence ------------------------------------------------------------
+
+    def _commit(self) -> None:
+        entries = sorted(self._records.values(), key=lambda r: r.addr)
+        payload = _COUNT.pack(len(entries)) + b"".join(
+            record.pack() for record in entries)
+        self._table.write(payload)
+
+    def load(self) -> None:
+        """Rebuild the record map from the committed table (may be empty)."""
+        committed = self._table.read()
+        self._records.clear()
+        if committed is None:
+            return
+        payload, _generation = committed
+        (count,) = _COUNT.unpack_from(payload)
+        for i in range(count):
+            record = AllocRecord.unpack(payload, _COUNT.size + i * _ENTRY.size)
+            self._records[record.addr] = record
+
+    # -- allocation API ------------------------------------------------------------
+
+    def alloc(self, size: int, tag: str) -> Allocation:
+        """Reserve an extent, commit its record, return the allocation."""
+        if len(self._records) >= self.max_extents:
+            raise PoolExhausted(
+                f"AllocTable full ({self.max_extents} extents)")
+        try:
+            allocation = self.device.alloc(size, tag=tag)
+        except Exception as exc:
+            raise PoolExhausted(str(exc)) from exc
+        self._records[allocation.addr] = AllocRecord(allocation.addr, size,
+                                                     tag)
+        self._live[allocation.addr] = allocation
+        self._commit()
+        return allocation
+
+    def free(self, allocation: Allocation) -> None:
+        """Commit the removal, then release device space."""
+        if allocation.addr not in self._records:
+            raise PmemError(
+                f"allocation at {allocation.addr:#x} not in AllocTable")
+        del self._records[allocation.addr]
+        self._live.pop(allocation.addr, None)
+        self._commit()
+        allocation.free()
+
+    def records(self) -> List[AllocRecord]:
+        """Committed extents, sorted by address."""
+        return sorted(self._records.values(), key=lambda r: r.addr)
+
+    def lookup(self, addr: int) -> Optional[AllocRecord]:
+        return self._records.get(addr)
+
+    def find_by_tag(self, tag: str) -> List[AllocRecord]:
+        return [r for r in self.records() if r.tag == tag]
+
+    def allocation_for(self, record: AllocRecord) -> Allocation:
+        """The live device allocation backing a committed record."""
+        allocation = self._live.get(record.addr)
+        if allocation is None or allocation.freed:
+            allocation = self.device.allocation_at(record.addr)
+            self._live[record.addr] = allocation
+        return allocation
+
+    def reconcile(self, protected: List[Allocation]) -> List[Allocation]:
+        """Free device allocations not covered by the committed table.
+
+        *protected* allocations (pool metadata) are never touched.
+        Returns the reclaimed allocations — crash leakage the paper's
+        repacking tool cleans up.
+        """
+        protected_addrs = {a.addr for a in protected}
+        committed_addrs = set(self._records)
+        leaked = [
+            allocation for allocation in self.device.allocations
+            if allocation.addr not in committed_addrs
+            and allocation.addr not in protected_addrs
+        ]
+        for allocation in leaked:
+            self._live.pop(allocation.addr, None)
+            allocation.free()
+        # Rebuild the live map for every committed record.
+        self._live = {
+            addr: self.device.allocation_at(addr)
+            for addr in self._records
+        }
+        return leaked
+
+    @property
+    def committed_bytes(self) -> int:
+        return sum(record.size for record in self._records.values())

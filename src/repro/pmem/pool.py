@@ -1,0 +1,132 @@
+"""PmemPool: a formatted devdax namespace.
+
+The pool occupies a raw PMem device the way Portus uses devdax: one
+``mmap`` of the whole namespace, no kernel filesystem underneath.  Layout::
+
+    +--------------+---------------------+--------------------------------+
+    | superblock   | AllocTable          | data extents (ExtentAllocator) |
+    | (A/B record) | (A/B record)        |                                |
+    +--------------+---------------------+--------------------------------+
+
+``format`` writes a fresh superblock; ``open`` validates it and replays
+the AllocTable, reconciling any space leaked by a crash.  ``crash``
+power-fails the underlying device (unflushed writes are lost or torn) and
+returns a closed pool that must be re-opened — which is exactly what the
+Portus daemon does on restart.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.errors import PmemError, PoolCorruption
+from repro.hw.device import Allocation, MemoryDevice
+from repro.pmem.alloc import ExtentAllocator, table_slot_size
+from repro.pmem.layout import CommittedRecord, blob_capacity
+
+_SUPER = struct.Struct("<IIQQ")  # magic, version, max_extents, data_capacity
+_POOL_MAGIC = 0x504D454D  # "PMEM"
+_POOL_VERSION = 1
+
+_SUPER_SLOT = blob_capacity(_SUPER.size)
+
+
+class PmemPool:
+    """A formatted pool over one PMem device namespace."""
+
+    def __init__(self, device: MemoryDevice, meta: Allocation,
+                 allocator: ExtentAllocator) -> None:
+        self.device = device
+        self.meta = meta
+        self.allocator = allocator
+        self.closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @classmethod
+    def format(cls, device: MemoryDevice,
+               max_extents: int = 4096) -> "PmemPool":
+        """Initialize a fresh pool on an empty device."""
+        if device.used_bytes != 0:
+            raise PmemError(
+                f"{device.name}: refusing to format a non-empty device")
+        meta_size = 2 * _SUPER_SLOT + 2 * table_slot_size(max_extents)
+        meta = device.alloc(meta_size, tag="pool-meta")
+        superblock = CommittedRecord(meta, 0, _SUPER_SLOT)
+        data_capacity = device.capacity - meta_size
+        superblock.write(_SUPER.pack(_POOL_MAGIC, _POOL_VERSION,
+                                     max_extents, data_capacity))
+        table = CommittedRecord(meta, 2 * _SUPER_SLOT,
+                                table_slot_size(max_extents))
+        allocator = ExtentAllocator(device, table, max_extents)
+        allocator._commit()
+        return cls(device, meta, allocator)
+
+    @classmethod
+    def open(cls, device: MemoryDevice) -> "PmemPool":
+        """Open (and recover) an existing pool after a restart or crash."""
+        try:
+            meta = device.allocation_at(0)
+        except Exception as exc:
+            raise PoolCorruption(
+                f"{device.name}: no pool metadata at offset 0") from exc
+        superblock = CommittedRecord(meta, 0, _SUPER_SLOT)
+        committed = superblock.read()
+        if committed is None:
+            raise PoolCorruption(f"{device.name}: superblock unreadable")
+        payload, _generation = committed
+        magic, version, max_extents, _capacity = _SUPER.unpack(payload)
+        if magic != _POOL_MAGIC:
+            raise PoolCorruption(f"{device.name}: bad pool magic {magic:#x}")
+        if version != _POOL_VERSION:
+            raise PoolCorruption(
+                f"{device.name}: unsupported pool version {version}")
+        table = CommittedRecord(meta, 2 * _SUPER_SLOT,
+                                table_slot_size(max_extents))
+        allocator = ExtentAllocator(device, table, max_extents)
+        allocator.load()
+        allocator.reconcile(protected=[meta])
+        return cls(device, meta, allocator)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def crash(self, rng) -> None:
+        """Power-fail the device and close this handle."""
+        self.device.crash(rng)
+        self.close()
+
+    # -- allocation facade ----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise PmemError("pool handle is closed")
+
+    def alloc(self, size: int, tag: str) -> Allocation:
+        """Allocate a crash-tracked data extent."""
+        self._check_open()
+        return self.allocator.alloc(size, tag)
+
+    def free(self, allocation: Allocation) -> None:
+        self._check_open()
+        self.allocator.free(allocation)
+
+    def find_by_tag(self, tag: str) -> List[Allocation]:
+        """Live allocations whose AllocTable tag matches exactly."""
+        self._check_open()
+        return [self.allocator.allocation_for(record)
+                for record in self.allocator.find_by_tag(tag)]
+
+    @property
+    def used_bytes(self) -> int:
+        return self.allocator.committed_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.device.free_bytes
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<PmemPool on {self.device.name} {state} " \
+               f"extents={len(self.allocator.records())}>"

@@ -1,0 +1,129 @@
+"""The RNIC model: DMA engines, MR table, and datapath composition.
+
+An :class:`Rnic` owns a fabric port and two host-side DMA channels (what
+its PCIe slot can sustain when reading/writing host DRAM).  When the DMA
+target is GPU memory, the path instead crosses the GPU's own PCIe channels
+— including the BAR-read cap the paper measures at 5.8 GB/s (Fig. 10),
+because BAR-mapped reads cannot be prefetched.  Writes to GPU memory are
+posted writes and are not BAR-limited.
+
+The MR table maps rkeys to registered regions; every one-sided operation
+arriving at this NIC is validated against it, exactly like a real HCA's
+protection checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, TYPE_CHECKING
+
+from repro.errors import MemoryRegionError, RkeyViolation
+from repro.hw.device import Allocation, MemoryDevice
+from repro.hw.devices import GpuMemory
+from repro.net.fabric import Fabric, Port
+from repro.sim import Environment, SharedChannel
+from repro.units import gbytes, usecs
+
+if TYPE_CHECKING:
+    from repro.rdma.verbs import MemoryRegion
+
+
+class Rnic:
+    """One RDMA-capable NIC attached to a node and a fabric."""
+
+    def __init__(self, env: Environment, node, fabric: Fabric,
+                 name: Optional[str] = None,
+                 dma_read_bw_bps: float = gbytes(8.3),
+                 dma_write_bw_bps: float = gbytes(9.0),
+                 read_latency_ns: int = usecs(2.5),
+                 write_latency_ns: int = usecs(1.9),
+                 send_latency_ns: int = usecs(1.5),
+                 mr_register_latency_ns: int = usecs(40),
+                 mr_pin_ns_per_byte: float = 0.25) -> None:
+        self.env = env
+        self.node = node
+        self.fabric = fabric
+        self.name = name or f"{node.name}.rnic"
+        self.port: Port = fabric.attach(self.name)
+        self.dma_read = SharedChannel(env, dma_read_bw_bps,
+                                      f"{self.name}.dma.read")
+        self.dma_write = SharedChannel(env, dma_write_bw_bps,
+                                       f"{self.name}.dma.write")
+        self.read_latency_ns = read_latency_ns
+        self.write_latency_ns = write_latency_ns
+        self.send_latency_ns = send_latency_ns
+        self.mr_register_latency_ns = mr_register_latency_ns
+        self.mr_pin_ns_per_byte = mr_pin_ns_per_byte
+        self._mr_table: Dict[int, "MemoryRegion"] = {}
+        self._peer_devices: set = set()
+        self._next_key = 0x1000
+        node.nic = self
+
+    # -- memory registration -----------------------------------------------------
+
+    def register_mr(self, allocation: Allocation) -> Generator:
+        """Process: pin *allocation* and install it in the MR table.
+
+        GPU allocations require peer memory to have been enabled for the
+        owning device (see :func:`repro.rdma.enable_peer_memory`), exactly
+        as ibv_reg_mr on a CUDA pointer requires nv_peer_mem.
+
+        Cost scales with the pinned size (page pinning + IOMMU mapping,
+        ~250 ms/GiB) — the reason Portus registers regions once per job
+        and never per checkpoint (§III-D2).
+        """
+        from repro.rdma.verbs import MemoryRegion
+
+        device = allocation.device
+        if isinstance(device, GpuMemory) and device not in self._peer_devices:
+            raise MemoryRegionError(
+                f"{self.name}: peer memory not enabled for {device.name}; "
+                "call enable_peer_memory(nic, gpu) first")
+        yield self.env.timeout(
+            self.mr_register_latency_ns
+            + int(allocation.size * self.mr_pin_ns_per_byte))
+        self._next_key += 2
+        mr = MemoryRegion(nic=self, allocation=allocation,
+                          lkey=self._next_key, rkey=self._next_key + 1)
+        self._mr_table[mr.rkey] = mr
+        return mr
+
+    def deregister_mr(self, mr: "MemoryRegion") -> None:
+        """Invalidate *mr*; later one-sided access raises RkeyViolation."""
+        if self._mr_table.pop(mr.rkey, None) is None:
+            raise MemoryRegionError(
+                f"{self.name}: rkey {mr.rkey:#x} is not registered")
+        mr.valid = False
+
+    def lookup_mr(self, rkey: int, addr: int, length: int) -> "MemoryRegion":
+        """Validate a one-sided access against the MR table."""
+        mr = self._mr_table.get(rkey)
+        if mr is None or not mr.valid:
+            raise RkeyViolation(f"{self.name}: stale or unknown rkey "
+                                f"{rkey:#x}")
+        if addr < mr.addr or addr + length > mr.addr + mr.length:
+            raise RkeyViolation(
+                f"{self.name}: access [{addr:#x}, {addr + length:#x}) "
+                f"outside MR [{mr.addr:#x}, {mr.addr + mr.length:#x})")
+        return mr
+
+    @property
+    def registered_mrs(self) -> int:
+        return len(self._mr_table)
+
+    # -- datapath composition -------------------------------------------------------
+
+    def egress_channels(self, device: MemoryDevice) -> List[SharedChannel]:
+        """Channels data crosses leaving *device* toward this NIC's port."""
+        if isinstance(device, GpuMemory):
+            # Peer-to-peer PCIe: BAR-mapped reads, no host DRAM involved.
+            return [device.read_channel, device.pcie_read]
+        return [device.read_channel, self.dma_read]
+
+    def ingress_channels(self, device: MemoryDevice) -> List[SharedChannel]:
+        """Channels data crosses arriving from the port into *device*."""
+        if isinstance(device, GpuMemory):
+            return [device.pcie_write, device.write_channel]
+        return [self.dma_write, device.write_channel]
+
+    def __repr__(self) -> str:
+        return f"<Rnic {self.name}>"

@@ -1,0 +1,94 @@
+"""Composite wait conditions for processes: AllOf / AnyOf.
+
+``yield AllOf(env, events)`` resumes when every event has fired and returns
+an ordered dict-like result; ``yield AnyOf(env, events)`` resumes as soon as
+one fires.  A failed child event fails the condition (with the child's
+exception) unless the condition already triggered.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.sim.core import Environment, Event
+
+
+class ConditionValue:
+    """Ordered mapping of event -> value for events that fired."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def values(self) -> List[Any]:
+        """Values in the order the events were passed to the condition."""
+        return [event.value for event in self.events]
+
+    def todict(self) -> Dict[Event, Any]:
+        return {event: event.value for event in self.events}
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Waits for a quorum of *events* to trigger successfully."""
+
+    def __init__(self, env: Environment, events: Sequence[Event],
+                 count: int) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._needed = min(count, len(self._events))
+        self._fired = 0
+        if any(event.env is not env for event in self._events):
+            raise ValueError("all condition events must share one environment")
+        if self._needed == 0:
+            self.succeed(ConditionValue())
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._on_child(event)
+                if self.triggered:
+                    break
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defuse()
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._fired += 1
+        if self._fired >= self._needed:
+            result = ConditionValue()
+            result.events = [e for e in self._events
+                             if e.triggered and e.ok]
+            self.succeed(result)
+
+
+class AllOf(Condition):
+    """Triggers when every event in *events* has triggered successfully."""
+
+    def __init__(self, env: Environment, events: Sequence[Event]) -> None:
+        super().__init__(env, events, count=len(list(events)))
+
+
+class AnyOf(Condition):
+    """Triggers when at least one event in *events* triggers successfully."""
+
+    def __init__(self, env: Environment, events: Sequence[Event]) -> None:
+        super().__init__(env, events, count=1)

@@ -1,0 +1,370 @@
+"""Resource primitives: Resource, Store, and the fluid-flow SharedChannel.
+
+``SharedChannel`` is the workhorse of every bandwidth model in the library.
+A *transfer* is a flow of N bytes across one or more channels (PCIe link,
+NIC, switch port, memory device).  Concurrent flows share each channel's
+capacity max-min fairly: the scheduler performs progressive filling across
+all channels, freezing flows at the bottleneck rate, so that e.g. sixteen
+GPU shards checkpointing through one 100 Gbps server NIC each see 1/16th of
+the wire while a concurrent local NVMe write is unaffected.
+
+Rates are recomputed only when flow membership changes, which keeps the
+model exact (piecewise-constant rates) and the event count linear in the
+number of transfers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.errors import SimulationError
+from repro.units import SECOND
+from repro.sim.core import Environment, Event
+
+_EPSILON_BYTES = 1e-6
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw the request (granted or queued)."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """Counting resource with a FIFO wait queue.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...critical section...
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._holders: Set[Request] = set()
+        self._waiters: List[Request] = []
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted requests."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests still waiting."""
+        return len(self._waiters)
+
+    def request(self) -> Request:
+        """Claim a unit; the returned event fires when granted."""
+        req = Request(self)
+        if len(self._holders) < self.capacity:
+            self._holders.add(req)
+            req.succeed(req)
+        else:
+            self._waiters.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        """Return a granted unit and wake the next waiter."""
+        if req not in self._holders:
+            raise SimulationError("release() of a request that is not held")
+        self._holders.remove(req)
+        self._grant_next()
+
+    def _cancel(self, req: Request) -> None:
+        if req in self._holders:
+            self.release(req)
+        elif req in self._waiters:
+            self._waiters.remove(req)
+
+    def _grant_next(self) -> None:
+        while self._waiters and len(self._holders) < self.capacity:
+            nxt = self._waiters.pop(0)
+            self._holders.add(nxt)
+            nxt.succeed(nxt)
+
+
+class Store:
+    """FIFO store of items with blocking get/put (unbounded by default)."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: List[Any] = []
+        self._getters: List[Event] = []
+        self._putters: List = []  # (event, item) pairs
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[Any]:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Queue *item*; event fires when the item is accepted."""
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self) -> Event:
+        """Take the oldest item; event fires with the item as value."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and (
+                    self.capacity is None or len(self._items) < self.capacity):
+                event, item = self._putters.pop(0)
+                self._items.append(item)
+                event.succeed(item)
+                progressed = True
+            while self._getters and self._items:
+                event = self._getters.pop(0)
+                event.succeed(self._items.pop(0))
+                progressed = True
+
+
+class SharedChannel:
+    """A capacity-limited pipe that active transfers share max-min fairly.
+
+    ``congested_capacity_bps`` models media whose aggregate throughput
+    *degrades* under many concurrent streams (Optane writes are the
+    canonical case: sequential streams interleave poorly on the 256 B
+    XPLine): once more than ``congestion_threshold`` flows are active the
+    pool shrinks to the congested capacity.
+    """
+
+    def __init__(self, env: Environment, capacity_bps: float,
+                 name: str = "channel",
+                 congested_capacity_bps: Optional[float] = None,
+                 congestion_threshold: int = 4) -> None:
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bps}")
+        if congested_capacity_bps is not None and \
+                not 0 < congested_capacity_bps <= capacity_bps:
+            raise ValueError(
+                f"congested capacity must be in (0, {capacity_bps}], "
+                f"got {congested_capacity_bps}")
+        self.env = env
+        self.capacity_bps = float(capacity_bps)
+        self.congested_capacity_bps = congested_capacity_bps
+        self.congestion_threshold = congestion_threshold
+        self.name = name
+        self.flows: Set["Transfer"] = set()
+        self.bytes_carried = 0
+
+    def capacity_for(self, flow_count: int) -> float:
+        """Aggregate capacity offered to *flow_count* concurrent flows."""
+        if (self.congested_capacity_bps is None
+                or flow_count <= self.congestion_threshold):
+            return self.capacity_bps
+        return self.congested_capacity_bps
+
+    def transfer(self, size_bytes: int, latency_ns: int = 0,
+                 rate_cap_bps: Optional[float] = None,
+                 label: str = "") -> "Transfer":
+        """Start a transfer of *size_bytes* across just this channel."""
+        return Transfer(self.env, [self], size_bytes,
+                        latency_ns=latency_ns, rate_cap_bps=rate_cap_bps,
+                        label=label)
+
+    def __repr__(self) -> str:
+        return f"<SharedChannel {self.name} {self.capacity_bps:.3g}B/s " \
+               f"flows={len(self.flows)}>"
+
+
+class Transfer(Event):
+    """A flow of bytes across a sequence of :class:`SharedChannel` segments.
+
+    The event fires when the last byte arrives.  ``latency_ns`` models the
+    one-way propagation/setup delay paid once before bytes start flowing
+    (RDMA post + PCIe round trip, syscall entry, ...).  ``rate_cap_bps``
+    bounds this flow below the fair share (e.g. a single DMA engine).
+    """
+
+    def __init__(self, env: Environment, channels: Sequence[SharedChannel],
+                 size_bytes: int, latency_ns: int = 0,
+                 rate_cap_bps: Optional[float] = None,
+                 label: str = "") -> None:
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size: {size_bytes}")
+        if latency_ns < 0:
+            raise ValueError(f"negative latency: {latency_ns}")
+        if rate_cap_bps is not None and rate_cap_bps <= 0:
+            raise ValueError(f"non-positive rate cap: {rate_cap_bps}")
+        super().__init__(env)
+        self.channels = list(channels)
+        self.size_bytes = int(size_bytes)
+        self.remaining = float(size_bytes)
+        self.rate_cap_bps = rate_cap_bps
+        self.label = label
+        self.rate_bps = 0.0
+        self.started_at = env.now
+        self.finished_at: Optional[int] = None
+        scheduler = _fluid_scheduler(env)
+        if latency_ns > 0:
+            timer = env.timeout(latency_ns)
+            timer.callbacks.append(lambda _ev: scheduler.admit(self))
+        else:
+            scheduler.admit(self)
+
+    @property
+    def elapsed_ns(self) -> int:
+        """Duration of the transfer; only valid once complete."""
+        if self.finished_at is None:
+            raise SimulationError("transfer not finished yet")
+        return self.finished_at - self.started_at
+
+    def __repr__(self) -> str:
+        return f"<Transfer {self.label or hex(id(self))} " \
+               f"{self.size_bytes}B remaining={self.remaining:.0f}>"
+
+
+class _FluidScheduler:
+    """Per-environment coordinator implementing progressive filling."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.active: Set[Transfer] = set()
+        self._last_update = env.now
+        self._wakeup: Optional[Event] = None
+        self._wakeup_gen = 0
+
+    # -- public hooks ---------------------------------------------------------
+
+    def admit(self, transfer: Transfer) -> None:
+        if transfer.size_bytes == 0:
+            transfer.finished_at = self.env.now
+            transfer.succeed(transfer)
+            return
+        self._advance()
+        self.active.add(transfer)
+        for channel in transfer.channels:
+            channel.flows.add(transfer)
+        self._reallocate()
+
+    # -- internals -------------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Account progress since the last rate change, retire finished flows."""
+        now = self.env.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self.active:
+            return
+        finished: List[Transfer] = []
+        for flow in self.active:
+            moved = flow.rate_bps * elapsed / SECOND
+            flow.remaining -= moved
+            for channel in flow.channels:
+                channel.bytes_carried += int(moved)
+            if flow.remaining <= _EPSILON_BYTES:
+                flow.remaining = 0.0
+                finished.append(flow)
+        for flow in finished:
+            self.active.discard(flow)
+            for channel in flow.channels:
+                channel.flows.discard(flow)
+            flow.finished_at = now
+            flow.succeed(flow)
+
+    def _reallocate(self) -> None:
+        """Recompute max-min fair rates and schedule the next completion."""
+        self._assign_rates()
+        self._wakeup_gen += 1
+        if not self.active:
+            return
+        horizon = min(
+            math.ceil(flow.remaining * SECOND / flow.rate_bps)
+            for flow in self.active)
+        horizon = max(1, horizon)
+        gen = self._wakeup_gen
+        timer = self.env.timeout(horizon)
+
+        def _on_fire(_event: Event, gen: int = gen) -> None:
+            if gen != self._wakeup_gen:
+                return  # superseded by a later membership change
+            self._advance()
+            self._reallocate()
+
+        timer.callbacks.append(_on_fire)
+
+    def _assign_rates(self) -> None:
+        """Progressive-filling max-min allocation across all channels."""
+        unfrozen: Set[Transfer] = set(self.active)
+        remaining_cap: Dict[SharedChannel, float] = {}
+        channel_flows: Dict[SharedChannel, Set[Transfer]] = {}
+        for flow in self.active:
+            flow.rate_bps = 0.0
+            for channel in flow.channels:
+                channel_flows.setdefault(channel, set()).add(flow)
+        for channel, flows in channel_flows.items():
+            remaining_cap[channel] = channel.capacity_for(len(flows))
+
+        while unfrozen:
+            # The next bottleneck is the smallest equal share on offer,
+            # considering both channel shares and per-flow caps.
+            share = math.inf
+            for channel, flows in channel_flows.items():
+                live = flows & unfrozen
+                if live:
+                    share = min(share, remaining_cap[channel] / len(live))
+            capped = [f for f in unfrozen if f.rate_cap_bps is not None]
+            cap_limit = min((f.rate_cap_bps for f in capped), default=math.inf)
+            if cap_limit < share:
+                # Freeze every flow whose own cap binds first.
+                level = cap_limit
+                frozen = {f for f in capped if f.rate_cap_bps <= level}
+            else:
+                level = share
+                frozen = set()
+                for channel, flows in channel_flows.items():
+                    live = flows & unfrozen
+                    if live and remaining_cap[channel] / len(live) <= level + 1e-9:
+                        frozen |= live
+            if not frozen or level is math.inf:
+                # No binding constraint (should not happen: every flow
+                # crosses at least one channel), freeze everything at share.
+                frozen = set(unfrozen)
+                level = share
+            for flow in frozen:
+                rate = level if flow.rate_cap_bps is None else min(
+                    level, flow.rate_cap_bps)
+                flow.rate_bps = max(rate, 1e-9)
+                for channel in flow.channels:
+                    remaining_cap[channel] -= flow.rate_bps
+                    remaining_cap[channel] = max(remaining_cap[channel], 0.0)
+            unfrozen -= frozen
+
+
+def _fluid_scheduler(env: Environment) -> _FluidScheduler:
+    """Lazily attach one fluid scheduler to *env*."""
+    scheduler = getattr(env, "_fluid_scheduler", None)
+    if scheduler is None:
+        scheduler = _FluidScheduler(env)
+        env._fluid_scheduler = scheduler
+    return scheduler

@@ -1,0 +1,87 @@
+"""Client-side error paths and session lifecycle."""
+
+import pytest
+
+from repro.core import protocol
+from repro.core.client import ModelSession
+from repro.errors import ModelNotFound, ProtocolError
+from repro.harness.cluster import PaperCluster
+
+
+def test_check_raises_on_unexpected_op():
+    with pytest.raises(ProtocolError, match="expected"):
+        ModelSession._check({"op": "SOMETHING"}, protocol.OP_REGISTERED)
+
+
+def test_check_reraises_daemon_error():
+    with pytest.raises(ModelNotFound):
+        ModelSession._check({"op": protocol.OP_ERROR,
+                             "error": ModelNotFound("m")},
+                            protocol.OP_REGISTERED)
+
+
+def test_double_restore_is_fine():
+    cluster = PaperCluster(seed=40)
+
+    def scenario(env):
+        session = yield from cluster.portus_register("alexnet")
+        session.model.update_step(1)
+        yield from session.checkpoint(1)
+        step_a = yield from session.restore()
+        step_b = yield from session.restore()
+        return step_a, step_b
+
+    assert cluster.run(scenario) == (1, 1)
+
+
+def test_operations_after_unregister_fail():
+    cluster = PaperCluster(seed=41)
+
+    def scenario(env):
+        session = yield from cluster.portus_register("alexnet")
+        session.model.update_step(1)
+        yield from session.checkpoint(1)
+        yield from session.unregister()
+        # The daemon no longer knows the model; the connection is closed.
+        from repro.errors import ConnectionClosed
+        with pytest.raises(ConnectionClosed):
+            yield from session.checkpoint(2)
+        return True
+
+    assert cluster.run(scenario)
+
+
+def test_session_bookkeeping():
+    cluster = PaperCluster(seed=42)
+
+    def scenario(env):
+        session = yield from cluster.portus_register("alexnet")
+        session.model.update_step(3)
+        reply = yield from session.checkpoint()  # defaults to model.step
+        return session, reply
+
+    session, reply = cluster.run(scenario)
+    assert reply["step"] == 3
+    assert session.checkpoints == 1
+    assert session.last_checkpoint_ns == reply["duration_ns"]
+    client = cluster.portus_client()
+    assert session in client.sessions
+
+
+def test_two_sessions_same_client():
+    cluster = PaperCluster(seed=43)
+
+    def scenario(env):
+        client = cluster.portus_client()
+        a = yield from client.register(cluster.materialize("alexnet",
+                                                           gpu=0))
+        b = yield from client.register(cluster.materialize("resnet50",
+                                                           gpu=1))
+        a.model.update_step(1)
+        b.model.update_step(1)
+        yield from a.checkpoint(1)
+        yield from b.checkpoint(1)
+        return len(client.sessions)
+
+    assert cluster.run(scenario) == 2
+    assert sorted(cluster.daemon.models()) == ["alexnet", "resnet50"]

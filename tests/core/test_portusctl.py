@@ -1,0 +1,100 @@
+"""Tests for Portusctl: view, dump, and the console entry point."""
+
+import pytest
+
+from repro.core.portusctl import dump, dump_to_file, format_view, main, view
+from repro.dnn.serialize import deserialize_state_dict
+from repro.errors import NoValidCheckpoint
+from repro.harness.cluster import PaperCluster
+
+
+@pytest.fixture
+def checkpointed_cluster():
+    cluster = PaperCluster(seed=11)
+
+    def scenario(env):
+        session_a = yield from cluster.portus_register("alexnet", gpu=0)
+        session_b = yield from cluster.portus_register("resnet50", gpu=1)
+        session_a.model.update_step(10)
+        session_b.model.update_step(20)
+        yield from session_a.checkpoint(10)
+        yield from session_b.checkpoint(20)
+        return session_a, session_b
+
+    sessions = cluster.run(scenario)
+    return cluster, sessions
+
+
+def test_view_lists_models_and_versions(checkpointed_cluster):
+    cluster, _sessions = checkpointed_cluster
+    rows = view(cluster.portus_pool)
+    assert [row["model"] for row in rows] == ["alexnet", "resnet50"]
+    alexnet = rows[0]
+    assert alexnet["layers"] == 16
+    states = {v["state"] for v in alexnet["versions"]}
+    assert "DONE" in states
+
+
+def test_format_view_renders_table(checkpointed_cluster):
+    cluster, _sessions = checkpointed_cluster
+    text = format_view(view(cluster.portus_pool))
+    assert "alexnet" in text
+    assert "DONE" in text
+    assert "MODEL" in text
+
+
+def test_dump_is_loadable_and_bit_exact(checkpointed_cluster):
+    cluster, (session_a, _b) = checkpointed_cluster
+    image = dump(cluster.portus_pool, "alexnet")
+    parsed = deserialize_state_dict(image)
+    assert len(parsed) == 16
+    for tensor in session_a.model.tensors:
+        _spec, payload = parsed[tensor.name]
+        assert payload.equals(tensor.expected_content(10))
+
+
+def test_dump_without_checkpoint_fails():
+    cluster = PaperCluster(seed=12)
+
+    def scenario(env):
+        yield from cluster.portus_register("alexnet")
+
+    cluster.run(scenario)
+    with pytest.raises(NoValidCheckpoint):
+        dump(cluster.portus_pool, "alexnet")
+
+
+def test_dump_to_simulated_filesystem(checkpointed_cluster):
+    cluster, _sessions = checkpointed_cluster
+
+    def scenario(env):
+        yield from cluster.volta_ext4.mkdir("/export")
+        size = yield from dump_to_file(cluster.portus_pool, "resnet50",
+                                       cluster.volta_ext4,
+                                       "/export/resnet50.pt")
+        return size
+
+    size = cluster.run(scenario)
+    assert size > 0
+    assert cluster.volta_ext4.exists("/export/resnet50.pt")
+
+
+def test_cli_view_runs(capsys):
+    assert main(["view"]) == 0
+    out = capsys.readouterr().out
+    assert "resnet50" in out
+    assert "DONE" in out
+
+
+def test_cli_dump_writes_host_file(tmp_path, capsys):
+    target = tmp_path / "resnet50.pt"
+    assert main(["dump", "resnet50", str(target)]) == 0
+    data = target.read_bytes()
+    assert data[:8] == b"RPTCKPT1"
+    assert len(data) > 97 * 1024 * 1024  # the full 97 MiB of weights
+
+
+def test_cli_repack_reports(capsys):
+    assert main(["repack"]) == 0
+    out = capsys.readouterr().out
+    assert "reclaimed" in out

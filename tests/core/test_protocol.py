@@ -1,0 +1,41 @@
+"""Unit tests for control-plane message construction."""
+
+from repro.core import protocol
+
+
+def test_register_size_scales_with_tensor_count():
+    few, few_size = protocol.register("m", [{"name": "a"}], server_qp=None)
+    many, many_size = protocol.register("m", [{"name": str(i)}
+                                              for i in range(400)],
+                                        server_qp=None)
+    assert few["op"] == protocol.OP_REGISTER
+    assert many_size - few_size == 399 * 128
+    assert len(many["tensors"]) == 400
+
+
+def test_operational_messages_are_tiny():
+    for message, size in (protocol.do_checkpoint("m", 7),
+                          protocol.do_restore("m"),
+                          protocol.unregister("m"),
+                          protocol.list_models()):
+        assert size <= 64
+        assert "op" in message
+
+
+def test_do_checkpoint_carries_step():
+    message, _size = protocol.do_checkpoint("bert", 42)
+    assert message == {"op": "DO_CHECKPOINT", "model": "bert", "step": 42}
+
+
+def test_reply_merges_fields():
+    message, size = protocol.reply(protocol.OP_CHECKPOINT_DONE,
+                                   model="m", step=3)
+    assert message == {"op": "CHECKPOINT_DONE", "model": "m", "step": 3}
+    assert size == 64
+
+
+def test_error_reply_carries_exception():
+    exc = ValueError("nope")
+    message, _size = protocol.error_reply(exc)
+    assert message["op"] == protocol.OP_ERROR
+    assert message["error"] is exc

@@ -1,0 +1,142 @@
+"""Validate the model zoo against the paper's Table II."""
+
+import pytest
+
+from repro.dnn.gpt import GPT_CONFIGS, build_gpt, shard_gpt, total_checkpoint_bytes
+from repro.dnn.models import MODEL_BUILDERS, TABLE_II, build_model
+from repro.units import MIB
+
+
+# --- exact parameter counts (torchvision / HF reference values) -----------------
+
+EXACT_PARAMS = {
+    "alexnet": 61_100_840,
+    "convnext_base": 88_591_464,
+    "resnet50": 25_557_032,
+    "swin_b": 87_768_224,
+    "vgg19_bn": 143_678_248,
+    "vit_l_32": 306_535_400,
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(EXACT_PARAMS.items()))
+def test_exact_parameter_counts(name, expected):
+    assert build_model(name).param_count == expected
+
+
+def test_bert_large_parameter_count_close():
+    # HF bert-large-uncased with MLM head (decoder tied): ~336.2M.
+    model = build_model("bert_large")
+    assert model.param_count == pytest.approx(336.2e6, rel=0.001)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_II))
+def test_table_ii_layer_counts(name):
+    assert build_model(name).tensor_count == TABLE_II[name]["layers"]
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_II))
+def test_table_ii_sizes(name):
+    size_mib = build_model(name).total_bytes / MIB
+    assert size_mib == pytest.approx(TABLE_II[name]["size_mib"], rel=0.01)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_II))
+def test_table_ii_param_totals(name):
+    params = build_model(name).param_count
+    assert params == pytest.approx(TABLE_II[name]["params"], rel=0.005)
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ValueError, match="unknown model"):
+        build_model("resnet51")
+
+
+def test_all_tensor_names_unique():
+    for name in MODEL_BUILDERS:
+        model = build_model(name)
+        names = [spec.name for spec in model.tensors]
+        assert len(names) == len(set(names)), name
+
+
+# --- GPT configs -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,billions", [
+    ("gpt-1.5b", 1.56), ("gpt-4.2b", 4.24), ("gpt-8.3b", 8.27),
+    ("gpt-12.9b", 12.85), ("gpt-22.4b", 22.52),
+])
+def test_gpt_config_param_counts(name, billions):
+    config = GPT_CONFIGS[name]
+    assert config.param_count() / 1e9 == pytest.approx(billions, rel=0.01)
+
+
+def test_gpt_22b_checkpoint_near_paper_size():
+    # The paper: 22.4B parameters => 89.6 GB of fp32 checkpoint data.
+    config = GPT_CONFIGS["gpt-22.4b"]
+    assert config.param_count() * 4 / 1e9 == pytest.approx(89.6, rel=0.02)
+
+
+def test_unsharded_gpt_matches_formula():
+    config = GPT_CONFIGS["gpt-1.5b"]
+    model = build_gpt(config)
+    assert model.param_count == config.param_count()
+
+
+@pytest.mark.parametrize("tp,pp", [(1, 1), (8, 2), (4, 4), (2, 1)])
+def test_sharding_preserves_sharded_tensors(tp, pp):
+    """Column/row-parallel tensors split exactly; norms and biases are
+    replicated per Megatron semantics, so the shard sum exceeds the
+    unsharded total by exactly the replication overhead."""
+    config = GPT_CONFIGS["gpt-1.5b"]
+    shards = shard_gpt(config, tensor_parallel=tp, pipeline_parallel=pp)
+    assert len(shards) == tp * pp
+    total = sum(shard.param_count for shard in shards)
+    h, layers = config.hidden, config.layers
+    replicated_per_extra_rank = layers * (
+        4 * h        # the two layer norms
+        + h          # attention.dense bias (row-parallel, replicated here)
+        + h          # mlp.dense_4h_to_h bias
+    ) + (2 * h       # final layernorm
+         + config.seq_length * h)  # position embeddings on stage-0 ranks
+    expected = config.param_count() + (tp - 1) * replicated_per_extra_rank
+    assert total == expected
+
+
+def test_shard_names_follow_megatron_convention():
+    shards = shard_gpt(GPT_CONFIGS["gpt-1.5b"], 2, 2)
+    names = [shard.name for shard in shards]
+    assert names == [
+        "gpt-1.5b/mp_rank_00_000", "gpt-1.5b/mp_rank_01_000",
+        "gpt-1.5b/mp_rank_00_001", "gpt-1.5b/mp_rank_01_001",
+    ]
+
+
+def test_pipeline_stage_layer_distribution():
+    config = GPT_CONFIGS["gpt-22.4b"]  # 49 layers over 2 stages: 25 + 24
+    shards = shard_gpt(config, tensor_parallel=1, pipeline_parallel=2)
+    stage0_layers = sum(1 for spec in shards[0].tensors
+                        if "input_layernorm.weight" in spec.name)
+    stage1_layers = sum(1 for spec in shards[1].tensors
+                        if "input_layernorm.weight" in spec.name)
+    assert (stage0_layers, stage1_layers) == (25, 24)
+
+
+def test_total_checkpoint_bytes_accounts_all_shards():
+    config = GPT_CONFIGS["gpt-1.5b"]
+    total = total_checkpoint_bytes(config, 8, 2)
+    assert total == sum(s.total_bytes for s in shard_gpt(config, 8, 2))
+
+
+def test_indivisible_tensor_parallel_rejected():
+    config = GPT_CONFIGS["gpt-1.5b"]  # hidden 1600
+    with pytest.raises(ValueError, match="not divisible"):
+        shard_gpt(config, tensor_parallel=7, pipeline_parallel=1)
+
+
+def test_iteration_time_scales_with_size():
+    small = GPT_CONFIGS["gpt-1.5b"].iteration_ns()
+    large = GPT_CONFIGS["gpt-22.4b"].iteration_ns()
+    assert large > 10 * small
+    # The Fig. 2 anchor: ~1.78 s per iteration at 22.4B.
+    assert large == pytest.approx(1.79e9, rel=0.02)

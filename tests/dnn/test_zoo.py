@@ -1,0 +1,72 @@
+"""Validate the extended zoo against known torchvision parameter counts."""
+
+import pytest
+
+from repro.dnn.zoo import (ZOO_BUILDERS, all_model_names, build_resnet,
+                           build_zoo_model)
+
+# torchvision reference values.
+EXACT = {
+    "resnet18": 11_689_512,
+    "resnet34": 21_797_672,
+    "resnet101": 44_549_160,
+    "resnet152": 60_192_808,
+    "vgg11_bn": 132_868_840,
+    "vgg13_bn": 133_053_736,
+    "vgg16_bn": 138_365_992,
+    "vit_b_16": 86_567_656,
+    "vit_b_32": 88_224_232,
+    "vit_l_16": 304_326_632,
+    "swin_t": 28_288_354,
+    "swin_s": 49_606_258,
+    "convnext_tiny": 28_589_128,
+    "convnext_small": 50_223_688,
+    "convnext_large": 197_767_336,
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(EXACT.items()))
+def test_exact_zoo_parameter_counts(name, expected):
+    assert build_zoo_model(name).param_count == expected
+
+
+def test_zoo_includes_table_ii_models():
+    names = all_model_names()
+    for representative in ("resnet50", "bert_large", "vit_l_32"):
+        assert representative in names
+    assert len(names) >= 22
+
+
+def test_family_builders_match_table_ii_versions():
+    """The generalized builders must regenerate the Table II variants."""
+    from repro.dnn.models import build_model
+    from repro.dnn.zoo import build_convnext, build_swin, build_vit
+
+    assert build_resnet("resnet50", "bottleneck",
+                        (3, 4, 6, 3)).param_count == \
+        build_model("resnet50").param_count
+    assert build_vit("vit_l_32", 32, 1024, 24, 4096).param_count == \
+        build_model("vit_l_32").param_count
+    assert build_swin("swin_b", 128, (2, 2, 18, 2),
+                      (4, 8, 16, 32)).param_count == \
+        build_model("swin_b").param_count
+    assert build_convnext("convnext_base", (128, 256, 512, 1024),
+                          (3, 3, 27, 3)).param_count == \
+        build_model("convnext_base").param_count
+
+
+def test_zoo_names_unique_per_model():
+    for name in ZOO_BUILDERS:
+        model = build_zoo_model(name)
+        tensor_names = [spec.name for spec in model.tensors]
+        assert len(tensor_names) == len(set(tensor_names)), name
+
+
+def test_unknown_zoo_model_rejected():
+    with pytest.raises(ValueError, match="unknown model"):
+        build_zoo_model("resnet9000")
+
+
+def test_bad_block_kind_rejected():
+    with pytest.raises(ValueError, match="block kind"):
+        build_resnet("x", "bottlenек", (2, 2, 2, 2))

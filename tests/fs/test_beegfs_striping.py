@@ -1,0 +1,154 @@
+"""Tests for multi-target BeeGFS striping."""
+
+import pytest
+
+from repro.fs import DaxFilesystem
+from repro.fs.beegfs import BeegfsClient, BeegfsServer, StripePattern
+from repro.hw import ComputeNode, PatternContent, PmemDimm, StorageNode
+from repro.net import Fabric
+from repro.rdma import Rnic
+from repro.sim import Environment
+from repro.units import gib, kib, mib
+
+
+def make_striped(targets=3):
+    env = Environment()
+    fabric = Fabric(env)
+    server_node = StorageNode(env, "server")
+    Rnic(env, server_node, fabric)
+    backings = [
+        DaxFilesystem(env, PmemDimm(env, name=f"pmem{i}", dimms=1,
+                                    dimm_capacity=gib(8)),
+                      name=f"dax{i}")
+        for i in range(targets)
+    ]
+    server = BeegfsServer(env, server_node, backings)
+    node = ComputeNode(env, "client", gpu_count=1)
+    Rnic(env, node, fabric)
+    holder = {}
+
+    def setup(env):
+        holder["client"] = yield from BeegfsClient.mount(env, node, server)
+
+    env.run_process(env.process(setup(env)))
+    return env, server, holder["client"], backings
+
+
+def test_striped_write_read_roundtrip():
+    env, _server, client, _backings = make_striped(targets=3)
+    payload = PatternContent(seed=5, size=kib(512) * 7 + 1234)
+
+    def scenario(env):
+        yield from client.write_file("/striped", payload)
+        content = yield from client.read_file("/striped")
+        return content
+
+    content = env.run_process(env.process(scenario(env)))
+    assert content.equals(payload)
+
+
+def test_stripes_land_on_every_target():
+    env, server, client, backings = make_striped(targets=3)
+    payload = PatternContent(seed=6, size=mib(3))
+
+    def scenario(env):
+        yield from client.write_file("/f", payload)
+
+    env.run_process(env.process(scenario(env)))
+    expected = server.stripe.per_target_bytes(0, payload.size)
+    for backing, expected_bytes in zip(backings, expected):
+        assert backing.exists("/f")
+        # Each target holds only its own chunks, back to back.
+        root = backing.root.children["f"]
+        assert root.data.size == expected_bytes
+
+
+def test_partial_overwrite_striped():
+    env, _server, client, _backings = make_striped(targets=2)
+    base = PatternContent(seed=7, size=mib(2))
+    patch = PatternContent(seed=8, size=kib(700))
+
+    def scenario(env):
+        yield from client.write_file("/f", base)
+        handle = yield from client.open("/f")
+        handle.seek(kib(300))
+        yield from handle.write(patch)
+        yield from handle.close()
+        content = yield from client.read_file("/f")
+        return content
+
+    content = env.run_process(env.process(scenario(env)))
+    assert content.slice(0, kib(300)).equals(base.slice(0, kib(300)))
+    assert content.slice(kib(300), kib(700)).equals(patch)
+    tail_off = kib(1000)
+    assert content.slice(tail_off, mib(2) - tail_off).equals(
+        base.slice(tail_off, mib(2) - tail_off))
+
+
+def test_stat_reports_logical_size():
+    env, _server, client, _backings = make_striped(targets=3)
+
+    def scenario(env):
+        yield from client.write_file("/f", PatternContent(seed=9,
+                                                          size=mib(5)))
+        info = yield from client.stat("/f")
+        return info
+
+    assert env.run_process(env.process(scenario(env))) == {
+        "kind": "file", "size": mib(5)}
+
+
+def test_rename_and_unlink_apply_to_all_targets():
+    env, _server, client, backings = make_striped(targets=2)
+
+    def scenario(env):
+        yield from client.write_file("/a", PatternContent(seed=1,
+                                                          size=mib(2)))
+        yield from client.rename("/a", "/b")
+        info = yield from client.stat("/b")
+        yield from client.unlink("/b")
+        return info
+
+    info = env.run_process(env.process(scenario(env)))
+    assert info["size"] == mib(2)
+    for backing in backings:
+        assert not backing.exists("/a")
+        assert not backing.exists("/b")
+
+
+def test_striping_speeds_up_large_writes():
+    """Three DAX targets absorb a big write ~in parallel."""
+    size = mib(96)
+
+    def timed(targets):
+        env, _server, client, _b = make_striped(targets=targets)
+
+        def scenario(env):
+            start = env.now
+            yield from client.write_file(
+                "/big", PatternContent(seed=2, size=size), fsync=False)
+            return env.now - start
+
+        return env.run_process(env.process(scenario(env)))
+
+    one = timed(1)
+    three = timed(3)
+    assert three < one
+
+
+def test_mismatched_stripe_width_rejected():
+    env = Environment()
+    node = StorageNode(env, "server")
+    backing = DaxFilesystem(env, node.pmem_fsdax)
+    with pytest.raises(ValueError, match="stripe width"):
+        BeegfsServer(env, node, [backing],
+                     stripe=StripePattern(targets=4))
+
+
+def test_target_local_offsets():
+    stripe = StripePattern(targets=3, chunk_bytes=kib(512))
+    # Global chunk 0 -> target 0 local chunk 0; chunk 3 -> target 0 local
+    # chunk 1; chunk 4 -> target 1 local chunk 1.
+    assert stripe.target_local_offset(0) == 0
+    assert stripe.target_local_offset(kib(512) * 3) == kib(512)
+    assert stripe.target_local_offset(kib(512) * 4 + 100) == kib(512) + 100

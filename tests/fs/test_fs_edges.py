@@ -1,0 +1,132 @@
+"""Edge cases across the filesystem layer."""
+
+import pytest
+
+from repro.errors import ConnectionClosed
+from repro.fs import DaxFilesystem, Filesystem, LocalExtFilesystem
+from repro.hw import ByteContent, NvmeDevice, PatternContent, PmemDimm
+from repro.sim import Environment
+from repro.units import gib, mib
+
+
+def run(env, gen):
+    return env.run_process(env.process(gen))
+
+
+def test_read_beyond_eof_returns_short():
+    env = Environment()
+    fs = Filesystem(env, "mem")
+
+    def scenario(env):
+        yield from fs.write_file("/f", ByteContent(b"12345"))
+        handle = yield from fs.open("/f")
+        handle.seek(3)
+        content = yield from handle.read(100)
+        return content.to_bytes()
+
+    assert run(env, scenario(env)) == b"45"
+
+
+def test_read_at_eof_returns_empty():
+    env = Environment()
+    fs = Filesystem(env, "mem")
+
+    def scenario(env):
+        yield from fs.write_file("/f", ByteContent(b"abc"))
+        handle = yield from fs.open("/f")
+        handle.seek(3)
+        content = yield from handle.read(10)
+        return content.size
+
+    assert run(env, scenario(env)) == 0
+
+
+def test_listdir_root():
+    env = Environment()
+    fs = Filesystem(env, "mem")
+
+    def scenario(env):
+        yield from fs.mkdir("/a")
+        yield from fs.write_file("/b", ByteContent(b"x"))
+        names = yield from fs.listdir("/")
+        return names
+
+    assert run(env, scenario(env)) == ["a", "b"]
+
+
+def test_write_without_fsync_faster_on_ext4():
+    env = Environment()
+    fs = LocalExtFilesystem(env, NvmeDevice(env))
+
+    def timed(env, fsync):
+        start = env.now
+        yield from fs.write_file(f"/f-{fsync}",
+                                 PatternContent(seed=1, size=mib(4)),
+                                 fsync=fsync)
+        return env.now - start
+
+    with_sync = run(env, timed(env, True))
+    without = run(env, timed(env, False))
+    assert without < with_sync
+
+
+def test_dax_fsync_far_cheaper_than_ext4():
+    env = Environment()
+    ext4 = LocalExtFilesystem(env, NvmeDevice(env))
+    dax = DaxFilesystem(env, PmemDimm(env, dimms=1, dimm_capacity=gib(2)))
+
+    def fsync_cost(env, fs):
+        handle = yield from fs.open("/f", create=True)
+        yield from handle.write(ByteContent(b"x" * 4096))
+        start = env.now
+        yield from handle.fsync()
+        cost = env.now - start
+        yield from handle.close()
+        return cost
+
+    ext4_cost = run(env, fsync_cost(env, ext4))
+    dax_cost = run(env, fsync_cost(env, dax))
+    assert dax_cost < ext4_cost / 10
+
+
+def test_direct_read_skips_page_cache_cost():
+    env = Environment()
+    fs = LocalExtFilesystem(env, NvmeDevice(env))
+    size = mib(64)
+
+    def setup(env):
+        yield from fs.write_file("/f", PatternContent(seed=2, size=size))
+
+    run(env, setup(env))
+
+    def timed(env, direct):
+        handle = yield from fs.open("/f")
+        start = env.now
+        yield from handle.read(size, direct=direct)
+        elapsed = env.now - start
+        yield from handle.close()
+        return elapsed
+
+    buffered = run(env, timed(env, False))
+    direct = run(env, timed(env, True))
+    assert direct < buffered
+
+
+def test_tcp_send_after_close_raises():
+    from repro.net import Fabric, TcpStack
+
+    env = Environment()
+    fabric = Fabric(env)
+    a = TcpStack(env, fabric, fabric.attach("a"), "a")
+    b = TcpStack(env, fabric, fabric.attach("b"), "b")
+
+    def scenario(env):
+        listener = b.listen(1)
+        conn = yield from a.connect("b", 1)
+        yield from listener.accept()
+        conn.close()
+        with pytest.raises(ConnectionClosed):
+            yield from conn.send("late")
+        return True
+
+    assert run(env, scenario(env))

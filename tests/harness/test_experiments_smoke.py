@@ -1,0 +1,49 @@
+"""Smoke tests for the fast experiment runners (the heavyweight ones run
+under benchmarks/).  These pin the qualitative shapes so a regression in
+any substrate shows up in the unit suite, not only at bench time."""
+
+import pytest
+
+from repro.harness.cluster import PaperCluster
+from repro.harness.experiments import (fig9_timeline, fig10_datapath,
+                                       fig11_fig12_times, speedups,
+                                       table1_breakdown)
+from repro.units import gbytes, kib, mib
+
+
+def test_table1_shape():
+    measured = table1_breakdown()
+    assert measured["serialization"] == max(measured.values())
+    assert sum(measured.values()) == pytest.approx(1.0)
+
+
+def test_fig10_shape_minimal_sizes():
+    result = fig10_datapath(sizes=[kib(64), mib(32)])
+    assert result["read_bw"]["gpu->dram"][-1] == pytest.approx(
+        gbytes(5.8), rel=0.05)
+    assert result["read_bw"]["dram->dram"][-1] > \
+        result["read_bw"]["gpu->dram"][-1]
+
+
+def test_fig11_single_model_speedup():
+    times = fig11_fig12_times(models=["resnet50"])
+    ckpt = speedups(times, "checkpoint")
+    restore = speedups(times, "restore")
+    assert 7.0 < ckpt["vs_beegfs"][0] < 10.0
+    assert 4.0 < restore["vs_beegfs"][0] < 7.0
+
+
+def test_fig9_policy_ordering():
+    result = fig9_timeline(iterations=4)
+    order = ["pytorch_sync", "checkfreq", "portus_sync", "portus_async"]
+    totals = [result[name]["total_ns"] for name in order]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_paper_cluster_wiring():
+    cluster = PaperCluster(seed=0)
+    assert len(cluster.volta.gpus) == 4
+    assert len(cluster.amperes) == 2
+    assert all(len(node.gpus) == 8 for node in cluster.amperes)
+    assert cluster.server.pmem_devdax.capacity == cluster.server.pmem_fsdax.capacity
+    assert cluster.daemon._started

@@ -1,0 +1,32 @@
+"""Tests for the §V-E time-saved projections."""
+
+import pytest
+
+from repro.harness.projections import (checkpoints_in,
+                                       paper_projection_table,
+                                       time_saved_ns)
+from repro.units import HOUR, MINUTE, secs
+
+
+def test_checkpoint_count():
+    assert checkpoints_in(24 * HOUR, 30 * MINUTE) == 48
+    assert checkpoints_in(10 * MINUTE, 30 * MINUTE) == 0
+
+
+def test_interval_validated():
+    with pytest.raises(ValueError):
+        checkpoints_in(HOUR, 0)
+
+
+def test_time_saved_matches_paper_arithmetic():
+    """The paper: 120s vs 15s checkpoints every 30 min over 24h saves
+    about 48 * 105s = 1.4h ('more than 1.5 hours' in its rounding)."""
+    saved = time_saved_ns(24 * HOUR, 30 * MINUTE, secs(120), secs(15))
+    assert saved / HOUR == pytest.approx(1.4, abs=0.01)
+
+
+def test_projection_table_scales_linearly():
+    table = paper_projection_table(secs(120), secs(15))
+    assert table["1 week"] == pytest.approx(7 * table["24h"], rel=1e-9)
+    assert table["1 month"] == pytest.approx(30 * table["24h"], rel=1e-9)
+    assert table["24h"] > 1.0

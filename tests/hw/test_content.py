@@ -1,0 +1,165 @@
+"""Unit and property tests for the content model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.content import (ByteContent, CompositeContent, PatternContent,
+                              SegmentBuffer, TornContent, ZeroContent,
+                              pattern_bytes)
+
+
+# --- pattern determinism ------------------------------------------------------
+
+
+def test_pattern_bytes_deterministic():
+    assert pattern_bytes(7, 0, 64) == pattern_bytes(7, 0, 64)
+    assert pattern_bytes(7, 0, 64) != pattern_bytes(8, 0, 64)
+
+
+def test_pattern_slice_matches_offset_stream():
+    whole = PatternContent(seed=42, size=1000)
+    part = whole.slice(100, 50)
+    assert part.to_bytes() == whole.to_bytes()[100:150]
+
+
+@given(seed=st.integers(0, 2**32), base=st.integers(0, 2**20),
+       offset=st.integers(0, 500), length=st.integers(0, 500))
+@settings(max_examples=50)
+def test_pattern_slice_property(seed, base, offset, length):
+    whole = PatternContent(seed, 1000, base=base)
+    part = whole.slice(offset, length)
+    assert part.to_bytes() == whole.to_bytes()[offset:offset + length]
+
+
+def test_pattern_equality_by_fingerprint_without_materializing():
+    huge_a = PatternContent(seed=1, size=100 * 1024**3)
+    huge_b = PatternContent(seed=1, size=100 * 1024**3)
+    assert huge_a.equals(huge_b)
+
+
+def test_distinct_huge_patterns_refuse_comparison():
+    huge_a = PatternContent(seed=1, size=100 * 1024**3)
+    huge_b = PatternContent(seed=2, size=100 * 1024**3)
+    with pytest.raises(ValueError, match="large contents"):
+        huge_a.equals(huge_b)
+
+
+def test_materialize_limit_enforced():
+    huge = PatternContent(seed=1, size=100 * 1024**3)
+    with pytest.raises(ValueError, match="materialize"):
+        huge.to_bytes()
+
+
+def test_cross_kind_equality_small():
+    pattern = PatternContent(seed=5, size=128)
+    raw = ByteContent(pattern.to_bytes())
+    assert pattern.equals(raw)
+    assert raw.equals(pattern)
+    assert not raw.equals(ByteContent(b"\x00" * 128))
+
+
+def test_zero_content():
+    zero = ZeroContent(16)
+    assert zero.to_bytes() == bytes(16)
+    assert zero.slice(4, 8).to_bytes() == bytes(8)
+    assert zero.equals(ByteContent(bytes(16)))
+
+
+def test_torn_content_never_equal():
+    torn = TornContent(10)
+    assert not torn.equals(torn)
+    assert not torn.equals(ZeroContent(10))
+    with pytest.raises(ValueError, match="torn"):
+        torn.to_bytes()
+
+
+def test_slice_bounds_checked():
+    content = ByteContent(b"abcdef")
+    with pytest.raises(ValueError):
+        content.slice(4, 10)
+    with pytest.raises(ValueError):
+        content.slice(-1, 2)
+
+
+# --- composites ------------------------------------------------------------------
+
+
+def test_composite_slice_across_parts():
+    composite = CompositeContent(
+        [ByteContent(b"aaaa"), ByteContent(b"bbbb"), ByteContent(b"cccc")])
+    assert composite.size == 12
+    assert composite.slice(2, 6).to_bytes() == b"aabbbb"
+
+
+def test_adjacent_pattern_slices_rejoin():
+    whole = PatternContent(seed=9, size=100)
+    left = whole.slice(0, 40)
+    right = whole.slice(40, 60)
+    composite = CompositeContent([left, right]).slice(0, 100)
+    assert isinstance(composite, PatternContent)
+    assert composite.equals(whole)
+
+
+# --- SegmentBuffer -----------------------------------------------------------------
+
+
+def test_buffer_starts_zeroed():
+    buffer = SegmentBuffer(100)
+    assert buffer.read().to_bytes() == bytes(100)
+
+
+def test_buffer_write_then_read_back():
+    buffer = SegmentBuffer(100)
+    buffer.write(10, ByteContent(b"hello"))
+    assert buffer.read_bytes(10, 5) == b"hello"
+    assert buffer.read_bytes(0, 10) == bytes(10)
+    assert buffer.read_bytes(15, 5) == bytes(5)
+
+
+def test_buffer_overwrite_partial_overlap():
+    buffer = SegmentBuffer(20)
+    buffer.write(0, ByteContent(b"A" * 10))
+    buffer.write(5, ByteContent(b"B" * 10))
+    assert buffer.read_bytes(0, 20) == b"A" * 5 + b"B" * 10 + bytes(5)
+
+
+def test_buffer_write_inside_existing_segment():
+    buffer = SegmentBuffer(10)
+    buffer.write(0, ByteContent(b"X" * 10))
+    buffer.write(3, ByteContent(b"yy"))
+    assert buffer.read_bytes(0, 10) == b"XXXyyXXXXX"
+
+
+def test_buffer_bounds_checked():
+    buffer = SegmentBuffer(10)
+    with pytest.raises(ValueError):
+        buffer.write(8, ByteContent(b"abc"))
+    with pytest.raises(ValueError):
+        buffer.read(5, 6)
+
+
+def test_buffer_holds_virtual_content_without_materializing():
+    buffer = SegmentBuffer(100 * 1024**3)
+    huge = PatternContent(seed=3, size=90 * 1024**3)
+    buffer.write(0, huge)
+    read_back = buffer.read(0, huge.size)
+    assert read_back.equals(huge)
+    window = buffer.read(12345, 100)
+    assert window.to_bytes() == huge.slice(12345, 100).to_bytes()
+
+
+@given(st.lists(
+    st.tuples(st.integers(0, 90), st.binary(min_size=1, max_size=20)),
+    min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_buffer_matches_reference_bytearray(writes):
+    """Property: SegmentBuffer behaves exactly like a plain bytearray."""
+    buffer = SegmentBuffer(128)
+    reference = bytearray(128)
+    for offset, data in writes:
+        if offset + len(data) > 128:
+            continue
+        buffer.write(offset, ByteContent(data))
+        reference[offset:offset + len(data)] = data
+    assert buffer.read().to_bytes() == bytes(reference)

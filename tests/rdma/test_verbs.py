@@ -1,0 +1,264 @@
+"""Unit tests for RDMA verbs: MRs, one-sided READ/WRITE, SEND/RECV."""
+
+import pytest
+
+from repro.errors import MemoryRegionError, RkeyViolation
+from repro.hw import ByteContent, ComputeNode, PatternContent, StorageNode
+from repro.hw.content import TornContent
+from repro.net import Fabric
+from repro.rdma import Rnic, connect, enable_peer_memory
+from repro.sim import AllOf, Environment
+from repro.units import gbytes, mib, secs, usecs
+
+
+def make_cluster():
+    env = Environment()
+    fabric = Fabric(env)
+    client = ComputeNode(env, "client", gpu_count=1)
+    server = StorageNode(env, "server")
+    client_nic = Rnic(env, client, fabric)
+    server_nic = Rnic(env, server, fabric)
+    return env, client, server, client_nic, server_nic
+
+
+def test_register_mr_costs_time_and_installs_rkey():
+    env, client, _server, client_nic, _server_nic = make_cluster()
+
+    def proc(env):
+        allocation = client.dram.alloc(4096)
+        mr = yield from client_nic.register_mr(allocation)
+        return (env.now, mr.rkey, client_nic.registered_mrs)
+
+    now, rkey, count = env.run_process(env.process(proc(env)))
+    # Fixed driver cost plus page pinning at 0.25 ns/byte.
+    assert now == usecs(40) + int(4096 * 0.25)
+    assert rkey > 0
+    assert count == 1
+
+
+def test_gpu_registration_requires_peer_memory():
+    env, client, _server, client_nic, _server_nic = make_cluster()
+    gpu = client.gpus[0]
+
+    def bad(env):
+        allocation = gpu.alloc(4096)
+        with pytest.raises(MemoryRegionError, match="peer memory"):
+            yield from client_nic.register_mr(allocation)
+        return True
+
+    assert env.run_process(env.process(bad(env)))
+
+    def good(env):
+        enable_peer_memory(client_nic, gpu)
+        allocation = gpu.alloc(4096)
+        mr = yield from client_nic.register_mr(allocation)
+        return mr.valid
+
+    assert env.run_process(env.process(good(env)))
+
+
+def test_one_sided_read_moves_content():
+    env, client, server, client_nic, server_nic = make_cluster()
+
+    def proc(env):
+        src = client.dram.alloc(1024)
+        src.write(0, ByteContent(b"checkpoint-bytes".ljust(1024, b".")))
+        dst = server.pmem_devdax.alloc(1024)
+        src_mr = yield from client_nic.register_mr(src)
+        dst_mr = yield from server_nic.register_mr(dst)
+        server_qp, _client_qp = yield from connect(env, server_nic,
+                                                   client_nic)
+        yield server_qp.read(dst_mr, 0, src_mr.rkey, src_mr.addr, 1024)
+        return dst.read_bytes(0, 16)
+
+    assert env.run_process(env.process(proc(env))) == b"checkpoint-bytes"
+
+
+def test_one_sided_write_moves_content():
+    env, client, server, client_nic, server_nic = make_cluster()
+
+    def proc(env):
+        src = server.pmem_devdax.alloc(512)
+        src.write(0, ByteContent(b"restored".ljust(512, b"!")))
+        dst = client.dram.alloc(512)
+        src_mr = yield from server_nic.register_mr(src)
+        dst_mr = yield from client_nic.register_mr(dst)
+        server_qp, _ = yield from connect(env, server_nic, client_nic)
+        yield server_qp.write(src_mr, 0, dst_mr.rkey, dst_mr.addr, 512)
+        return dst.read_bytes(0, 8)
+
+    assert env.run_process(env.process(proc(env))) == b"restored"
+
+
+def test_read_from_gpu_capped_by_bar_bandwidth():
+    env, client, server, client_nic, server_nic = make_cluster()
+    gpu = client.gpus[0]
+    enable_peer_memory(client_nic, gpu)
+    size = mib(580)  # at 5.8 GB/s -> ~0.1048 s
+
+    def proc(env):
+        src = gpu.alloc(size)
+        src.write(0, PatternContent(seed=1, size=size))
+        dst = server.pmem_devdax.alloc(size)
+        src_mr = yield from client_nic.register_mr(src)
+        dst_mr = yield from server_nic.register_mr(dst)
+        server_qp, _ = yield from connect(env, server_nic, client_nic)
+        start = env.now
+        yield server_qp.read(dst_mr, 0, src_mr.rkey, src_mr.addr, size)
+        return env.now - start
+
+    elapsed = env.run_process(env.process(proc(env)))
+    expected = size / gbytes(5.8) * 1e9
+    assert elapsed == pytest.approx(expected, rel=0.01)
+
+
+def test_read_from_dram_faster_than_gpu():
+    """The paper: GPU BAR reads peak 30% below DRAM reads (Fig 10)."""
+    env, client, server, client_nic, server_nic = make_cluster()
+    gpu = client.gpus[0]
+    enable_peer_memory(client_nic, gpu)
+    size = mib(256)
+
+    def timed_read(env, src_device):
+        src = src_device.alloc(size)
+        src.write(0, PatternContent(seed=2, size=size))
+        dst = server.dram.alloc(size)
+        src_mr = yield from client_nic.register_mr(src)
+        dst_mr = yield from server_nic.register_mr(dst)
+        server_qp, _ = yield from connect(env, server_nic, client_nic)
+        start = env.now
+        yield server_qp.read(dst_mr, 0, src_mr.rkey, src_mr.addr, size)
+        return env.now - start
+
+    gpu_ns = env.run_process(env.process(timed_read(env, gpu)))
+    dram_ns = env.run_process(env.process(timed_read(env, client.dram)))
+    assert dram_ns < gpu_ns
+    assert gpu_ns / dram_ns == pytest.approx(8.3 / 5.8, rel=0.02)
+
+
+def test_write_to_gpu_not_bar_limited():
+    """The paper: BAR does not affect writes (Fig 10d)."""
+    env, client, server, client_nic, server_nic = make_cluster()
+    gpu = client.gpus[0]
+    enable_peer_memory(client_nic, gpu)
+    size = mib(256)
+
+    def timed_write(env, dst_device):
+        src = server.dram.alloc(size)
+        src.write(0, PatternContent(seed=3, size=size))
+        dst = dst_device.alloc(size)
+        src_mr = yield from server_nic.register_mr(src)
+        dst_mr = yield from client_nic.register_mr(dst)
+        server_qp, _ = yield from connect(env, server_nic, client_nic)
+        start = env.now
+        yield server_qp.write(src_mr, 0, dst_mr.rkey, dst_mr.addr, size)
+        return env.now - start
+
+    gpu_ns = env.run_process(env.process(timed_write(env, gpu)))
+    dram_ns = env.run_process(env.process(timed_write(env, client.dram)))
+    assert gpu_ns == pytest.approx(dram_ns, rel=0.02)
+
+
+def test_stale_rkey_rejected():
+    env, client, server, client_nic, server_nic = make_cluster()
+
+    def proc(env):
+        src = client.dram.alloc(256)
+        dst = server.dram.alloc(256)
+        src_mr = yield from client_nic.register_mr(src)
+        dst_mr = yield from server_nic.register_mr(dst)
+        server_qp, _ = yield from connect(env, server_nic, client_nic)
+        client_nic.deregister_mr(src_mr)
+        with pytest.raises(RkeyViolation):
+            yield server_qp.read(dst_mr, 0, src_mr.rkey, src_mr.addr, 256)
+        return True
+
+    assert env.run_process(env.process(proc(env)))
+
+
+def test_out_of_bounds_remote_access_rejected():
+    env, client, server, client_nic, server_nic = make_cluster()
+
+    def proc(env):
+        src = client.dram.alloc(256)
+        dst = server.dram.alloc(1024)
+        src_mr = yield from client_nic.register_mr(src)
+        dst_mr = yield from server_nic.register_mr(dst)
+        server_qp, _ = yield from connect(env, server_nic, client_nic)
+        with pytest.raises(RkeyViolation, match="outside MR"):
+            yield server_qp.read(dst_mr, 0, src_mr.rkey, src_mr.addr, 1024)
+        return True
+
+    assert env.run_process(env.process(proc(env)))
+
+
+def test_torn_read_detected_when_source_mutates():
+    """A read overlapping a source write must yield torn content."""
+    env, client, server, client_nic, server_nic = make_cluster()
+    size = mib(64)
+
+    def proc(env):
+        src = client.dram.alloc(size)
+        src.write(0, PatternContent(seed=4, size=size))
+        dst = server.dram.alloc(size)
+        src_mr = yield from client_nic.register_mr(src)
+        dst_mr = yield from server_nic.register_mr(dst)
+        server_qp, _ = yield from connect(env, server_nic, client_nic)
+
+        def mutator(env):
+            yield env.timeout(usecs(100))  # mid-flight
+            src.write(0, PatternContent(seed=5, size=size))
+
+        env.process(mutator(env))
+        yield server_qp.read(dst_mr, 0, src_mr.rkey, src_mr.addr, size)
+        return dst.read(0, size)
+
+    content = env.run_process(env.process(proc(env)))
+    assert isinstance(content, TornContent)
+
+
+def test_concurrent_reads_share_gpu_bar():
+    """Two concurrent GPU reads each get half the BAR bandwidth."""
+    env, client, server, client_nic, server_nic = make_cluster()
+    gpu = client.gpus[0]
+    enable_peer_memory(client_nic, gpu)
+    size = mib(290)  # 2 x 290 MiB at 5.8 GB/s shared
+
+    def proc(env):
+        mrs = []
+        for i in range(2):
+            src = gpu.alloc(size)
+            src.write(0, PatternContent(seed=i, size=size))
+            dst = server.dram.alloc(size)
+            src_mr = yield from client_nic.register_mr(src)
+            dst_mr = yield from server_nic.register_mr(dst)
+            mrs.append((src_mr, dst_mr))
+        server_qp, _ = yield from connect(env, server_nic, client_nic)
+        start = env.now
+        reads = [server_qp.read(dst_mr, 0, src_mr.rkey, src_mr.addr, size)
+                 for src_mr, dst_mr in mrs]
+        yield AllOf(env, reads)
+        return env.now - start
+
+    elapsed = env.run_process(env.process(proc(env)))
+    expected = 2 * size / gbytes(5.8) * 1e9
+    assert elapsed == pytest.approx(expected, rel=0.02)
+
+
+def test_two_sided_send_recv():
+    env, _client, _server, client_nic, server_nic = make_cluster()
+
+    def proc(env):
+        client_qp, server_qp = yield from connect(env, client_nic,
+                                                  server_nic)
+
+        def server_side(env):
+            payload = yield from server_qp.recv()
+            return payload
+
+        server_proc = env.process(server_side(env))
+        yield client_qp.send({"op": "DO_CHECKPOINT"}, size=64)
+        payload = yield server_proc
+        return payload
+
+    assert env.run_process(env.process(proc(env))) == {"op": "DO_CHECKPOINT"}

@@ -1,0 +1,242 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.errors import (ProcessInterrupted, SimulationDeadlock,
+                          SimulationError)
+from repro.sim import Environment
+from repro.units import SECOND
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(100)
+        return env.now
+
+    p = env.process(proc(env))
+    assert env.run_process(p) == 100
+    assert env.now == 100
+
+
+def test_timeouts_fire_in_order():
+    env = Environment()
+    fired = []
+
+    def waiter(env, delay):
+        yield env.timeout(delay)
+        fired.append(delay)
+
+    for delay in (30, 10, 20):
+        env.process(waiter(env, delay))
+    env.run()
+    assert fired == [10, 20, 30]
+
+
+def test_same_time_events_fifo_by_creation():
+    env = Environment()
+    fired = []
+
+    def waiter(env, tag):
+        yield env.timeout(50)
+        fired.append(tag)
+
+    for tag in "abc":
+        env.process(waiter(env, tag))
+    env.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(5)
+        return "done"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return value + "!"
+
+    assert env.run_process(env.process(parent(env))) == "done!"
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("early")
+    env.run()  # process the event with no listeners
+
+    def proc(env):
+        value = yield ev
+        return (env.now, value)
+
+    assert env.run_process(env.process(proc(env))) == (0, "early")
+
+
+def test_event_failure_propagates_into_process():
+    env = Environment()
+    ev = env.event()
+
+    def proc(env):
+        with pytest.raises(ValueError, match="boom"):
+            yield ev
+        return "caught"
+
+    p = env.process(proc(env))
+    ev.fail(ValueError("boom"))
+    assert env.run_process(p) == "caught"
+
+
+def test_unhandled_process_exception_raises_from_run():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        raise RuntimeError("explode")
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError, match="explode"):
+        env.run()
+
+
+def test_joining_failed_process_rethrows():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        raise KeyError("gone")
+
+    def parent(env):
+        with pytest.raises(KeyError):
+            yield env.process(child(env))
+        return "survived"
+
+    assert env.run_process(env.process(parent(env))) == "survived"
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(ValueError())
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(1000)
+        except ProcessInterrupted as exc:
+            return ("interrupted", exc.cause, env.now)
+        return "not reached"
+
+    def attacker(env, target):
+        yield env.timeout(10)
+        target.interrupt(cause="preempt")
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    assert env.run_process(target) == ("interrupted", "preempt", 10)
+
+
+def test_interrupted_process_can_rewait():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(1000)
+        except ProcessInterrupted:
+            pass
+        yield env.timeout(5)
+        return env.now
+
+    def attacker(env, target):
+        yield env.timeout(10)
+        target.interrupt()
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    assert env.run_process(target) == 15
+
+
+def test_interrupt_finished_process_is_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_run_until_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(10 * SECOND)
+
+    env.process(proc(env))
+    env.run(until=3 * SECOND)
+    assert env.now == 3 * SECOND
+    env.run()
+    assert env.now == 10 * SECOND
+
+
+def test_run_until_in_past_rejected():
+    env = Environment()
+    env.run(until=100)
+    with pytest.raises(ValueError):
+        env.run(until=50)
+
+
+def test_run_process_deadlock_detection():
+    env = Environment()
+
+    def stuck(env):
+        yield env.event()  # never triggered
+
+    p = env.process(stuck(env))
+    with pytest.raises(SimulationDeadlock):
+        env.run_process(p)
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    p = env.process(bad(env))
+    with pytest.raises(SimulationError, match="not an Event"):
+        env.run_process(p)
+
+
+def test_cross_environment_yield_rejected():
+    env1 = Environment()
+    env2 = Environment()
+
+    def bad(env1, env2):
+        yield env2.timeout(1)
+
+    p = env1.process(bad(env1, env2))
+    with pytest.raises(SimulationError, match="different environment"):
+        env1.run_process(p)
+
+
+def test_run_all_collects_values():
+    env = Environment()
+
+    def worker(env, n):
+        yield env.timeout(n)
+        return n * 2
+
+    procs = [env.process(worker(env, n)) for n in (3, 1, 2)]
+    assert env.run_all(procs) == [6, 2, 4]

@@ -1,0 +1,127 @@
+"""Property-based tests for the fluid-flow bandwidth model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, Environment, SharedChannel, Transfer
+from repro.units import SECOND, gbytes
+
+
+@given(sizes=st.lists(st.integers(1, 500_000_000), min_size=1,
+                      max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_total_time_conserves_work(sizes):
+    """Property: with one shared channel, the last completion is exactly
+    total_bytes/capacity regardless of how flows interleave (the channel
+    is work-conserving)."""
+    env = Environment()
+    channel = SharedChannel(env, capacity_bps=gbytes(1))
+
+    def proc(env):
+        flows = [channel.transfer(size) for size in sizes]
+        yield AllOf(env, flows)
+        return env.now
+
+    finish = env.run_process(env.process(proc(env)))
+    expected = sum(sizes) / gbytes(1) * SECOND
+    assert finish == pytest.approx(expected, rel=1e-6, abs=2)
+
+
+@given(sizes=st.lists(st.integers(1_000_000, 100_000_000), min_size=2,
+                      max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_completion_order_matches_size_order(sizes):
+    """Property: flows started together on one channel finish in size
+    order (equal shares => smaller flows drain first)."""
+    env = Environment()
+    channel = SharedChannel(env, capacity_bps=gbytes(2))
+    completions = []
+
+    def waiter(env, transfer, size):
+        yield transfer
+        completions.append((env.now, size))
+
+    def proc(env):
+        procs = []
+        for size in sizes:
+            transfer = channel.transfer(size)
+            procs.append(env.process(waiter(env, transfer, size)))
+        yield AllOf(env, procs)
+
+    env.run_process(env.process(proc(env)))
+    finish_times = {}
+    for time, size in completions:
+        finish_times.setdefault(size, time)
+    ordered = sorted(sizes)
+    for smaller, larger in zip(ordered, ordered[1:]):
+        assert finish_times[smaller] <= finish_times[larger]
+
+
+@given(size=st.integers(1, 10_000_000),
+       staggered=st.integers(0, 5_000_000))
+@settings(max_examples=30, deadline=None)
+def test_single_flow_time_is_exact(size, staggered):
+    """Property: an uncontended flow takes exactly size/capacity, no
+    matter when it starts."""
+    env = Environment()
+    channel = SharedChannel(env, capacity_bps=gbytes(1))
+
+    def proc(env):
+        yield env.timeout(staggered)
+        start = env.now
+        yield channel.transfer(size)
+        return env.now - start
+
+    elapsed = env.run_process(env.process(proc(env)))
+    assert elapsed == pytest.approx(size / gbytes(1) * SECOND,
+                                    rel=1e-9, abs=1)
+
+
+def test_congested_channel_switches_capacity():
+    env = Environment()
+    channel = SharedChannel(env, capacity_bps=gbytes(8),
+                            congested_capacity_bps=gbytes(4),
+                            congestion_threshold=2)
+
+    def proc(env, flows):
+        start = env.now
+        transfers = [channel.transfer(100_000_000) for _ in range(flows)]
+        yield AllOf(env, transfers)
+        return env.now - start
+
+    two = env.run_process(env.process(proc(env, 2)))
+    four = env.run_process(env.process(proc(env, 4)))
+    # 2 flows x 100MB at 8 GB/s total = 25 ms; 4 flows at the congested
+    # 4 GB/s = 100 ms.
+    assert two == pytest.approx(0.025 * SECOND, rel=1e-6)
+    assert four == pytest.approx(0.100 * SECOND, rel=1e-6)
+
+
+def test_congestion_parameters_validated():
+    env = Environment()
+    with pytest.raises(ValueError):
+        SharedChannel(env, capacity_bps=gbytes(1),
+                      congested_capacity_bps=gbytes(2))
+    with pytest.raises(ValueError):
+        SharedChannel(env, capacity_bps=gbytes(1),
+                      congested_capacity_bps=0)
+
+
+@given(cap=st.floats(0.1, 2.0), size=st.integers(1_000, 50_000_000))
+@settings(max_examples=20, deadline=None)
+def test_rate_cap_never_exceeded(cap, size):
+    """Property: a capped flow can never beat size/cap."""
+    env = Environment()
+    channel = SharedChannel(env, capacity_bps=gbytes(10))
+
+    def proc(env):
+        transfer = channel.transfer(size, rate_cap_bps=gbytes(cap))
+        yield transfer
+        return env.now
+
+    elapsed = env.run_process(env.process(proc(env)))
+    floor = size / gbytes(cap) * SECOND
+    assert elapsed >= math.floor(floor)

@@ -1,0 +1,31 @@
+"""Smoke tests: every shipped example runs and reports success markers."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["bit-exact", "GPU utilization"]),
+    ("distributed_gpt.py", ["bit-exact", "correctly ignored"]),
+    ("multi_tenant.py", ["daemon:", "DONE"]),
+    ("datapath_probe.py", ["GPU BAR read peak", "5.80GB/s"]),
+    ("share_checkpoint.py", ["all bit-exact", "repacked"]),
+    ("frequency_study.py", ["checkpoint cadence", "portus"]),
+]
+
+
+@pytest.mark.parametrize("script,markers", CASES,
+                         ids=[case[0] for case in CASES])
+def test_example_runs(script, markers):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in markers:
+        assert marker in result.stdout, (marker, result.stdout[-2000:])
+    # No example may hide a failure behind a MISMATCH print.
+    assert "MISMATCH" not in result.stdout
