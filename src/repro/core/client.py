@@ -13,34 +13,222 @@ For each model (or model shard) the client:
 
 The returned :class:`ModelSession` is the user-facing handle; one session
 per shard, many sessions per client (multi-tenant / multi-GPU).
+
+Fault tolerance: every request is stamped with a request id and the
+reply matched against it (replies can arrive out of order — the daemon
+dispatches each request on its own worker).  When the client carries a
+:class:`~repro.core.retry.RetryPolicy`, transport faults (connection
+drops, link flaps, QP/WR errors, reply timeouts, a restarting daemon)
+tear the session transport down and transparently re-attach — new QP,
+new TCP connection, re-sent REGISTER against the persisted index; the
+GPU-side MRs are registered once per job and reused across re-attaches,
+exactly as the fixed tensor addresses of §III-C allow.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.core import protocol
 from repro.core.daemon import PortusDaemon
+from repro.core.retry import RETRYABLE_FAULTS, RetryPolicy
 from repro.dnn.tensor import ModelInstance
-from repro.errors import PortusError, ProtocolError
+from repro.errors import (PortusError, ProtocolError, ReproError,
+                          RequestTimeout)
 from repro.hw.node import Node
 from repro.net.tcp import TcpStack
 from repro.rdma.verbs import connect
-from repro.sim import Environment
+from repro.sim import AnyOf, Environment
+
+MessageFactory = Callable[[], Tuple[Dict[str, Any], int]]
 
 
 class ModelSession:
     """A registered model's handle: checkpoint / restore / unregister."""
 
     def __init__(self, client: "PortusClient", model: ModelInstance,
-                 conn, qp, mrs: List) -> None:
+                 conn, qp, mrs: List,
+                 tensor_infos: Optional[List[Dict[str, Any]]] = None,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.client = client
         self.model = model
         self.conn = conn
         self.qp = qp
         self.mrs = mrs
+        self.tensor_infos = tensor_infos
+        self.retry = retry
         self.checkpoints = 0
         self.last_checkpoint_ns: Optional[int] = None
+        self.retries = 0
+        self.reattaches = 0
+        self._rid = 0
+        self._pending: Dict[int, Dict] = {}
+        # Reply-pump state: one process drains the connection at a time;
+        # the others wait to be woken when their rid lands in _pending.
+        self._pump_busy = False
+        self._waiters: List = []
+        self._reattach_gate = None
+
+    # -- request/reply plumbing ---------------------------------------------------
+
+    def _rpc(self, message: Dict, size: int) -> Generator:
+        """Process: send one request and wait for its matching reply.
+
+        Replies are matched by request id, so a stale reply (from an
+        attempt whose timeout already fired) can never be mistaken for
+        the current one.  With a retry policy, waiting is bounded by the
+        policy's reply timeout.
+        """
+        self._rid += 1
+        rid = self._rid
+        message["rid"] = rid
+        conn = self.conn
+        yield from conn.send(message, wire_size=size)
+        timeout_ns = self.retry.reply_timeout_ns if self.retry else None
+        if timeout_ns is None:
+            return (yield from self._recv_rid(conn, rid))
+        env = self.client.env
+        receiver = env.process(self._recv_outcome(conn, rid),
+                               name=f"recv:{self.model.name}:{rid}")
+        yield AnyOf(env, [receiver, env.timeout(timeout_ns)])
+        if not receiver.triggered:
+            receiver.interrupt("reply timeout")
+            yield receiver  # let the interrupt land; outcome is ("err", ...)
+            raise RequestTimeout(
+                f"{self.model.name}: no reply to rid {rid} "
+                f"within {timeout_ns} ns")
+        kind, value = receiver.value
+        if kind == "err":
+            raise value
+        return value
+
+    def _recv_outcome(self, conn, rid: int) -> Generator:
+        """Process: recv that never fails (outcome returned as a tag)."""
+        try:
+            reply = yield from self._recv_rid(conn, rid)
+        except ReproError as exc:
+            return ("err", exc)
+        return ("ok", reply)
+
+    def _recv_rid(self, conn, rid: int) -> Generator:
+        """Process: wait for the reply carrying *rid*.
+
+        Replies for other rids are stashed in ``_pending`` and their
+        waiters woken — several requests (e.g. a checkpoint and a
+        heartbeat) can be outstanding on one connection, and their
+        replies arrive in completion order, not issue order.
+        """
+        env = self.client.env
+        while True:
+            if rid in self._pending:
+                return self._pending.pop(rid)
+            if self._pump_busy:
+                # Someone else is draining the connection; wait for a
+                # wake-up and re-check the stash.
+                waiter = env.event()
+                self._waiters.append(waiter)
+                yield waiter
+                continue
+            self._pump_busy = True
+            try:
+                reply = yield from conn.recv()
+            except BaseException:
+                # Connection failure (or an interrupt): release the pump
+                # so every waiter observes the failure for itself.
+                self._pump_busy = False
+                self._wake_waiters()
+                raise
+            self._pump_busy = False
+            got = reply.get("rid")
+            if got is None or got == rid:
+                self._wake_waiters()
+                return reply
+            self._pending[got] = reply
+            self._wake_waiters()
+
+    def _wake_waiters(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.succeed(None)
+
+    def _call(self, make_message: MessageFactory,
+              expected_op: str) -> Generator:
+        """Process: one request with the session's retry policy applied."""
+        policy = self.retry
+        if policy is None:
+            message, size = make_message()
+            reply = yield from self._rpc(message, size)
+            self._check(reply, expected_op)
+            return reply
+        env = self.client.env
+        start = env.now
+        attempt = 0
+        while True:
+            try:
+                yield from self._ensure_attached()
+                message, size = make_message()
+                reply = yield from self._rpc(message, size)
+                self._check(reply, expected_op)
+                return reply
+            except RETRYABLE_FAULTS as exc:
+                attempt += 1
+                self.retries += 1
+                if policy.is_transport_fault(exc):
+                    self._teardown_transport()
+                if policy.exhausted(attempt, env.now - start):
+                    raise
+                yield env.timeout(policy.backoff_ns(attempt))
+
+    # -- transport lifecycle ------------------------------------------------------
+
+    def _teardown_transport(self) -> None:
+        """Forget the (broken) QP + connection; next attempt re-attaches."""
+        if self.conn is not None and not self.conn.closed:
+            self.conn.close()
+        self.conn = None
+        if self.qp is not None and self.qp.error is None:
+            self.qp.transition_to_error("client tore the session down")
+        self.qp = None
+        self._pending.clear()
+        self._wake_waiters()
+
+    def _ensure_attached(self) -> Generator:
+        """Process: re-attach if needed, once — concurrent callers (a
+        checkpoint and a heartbeat both hitting the same dead transport)
+        serialize on a gate instead of racing duplicate REGISTERs."""
+        while self.conn is None or self.conn.closed:
+            if self._reattach_gate is not None:
+                yield self._reattach_gate
+                continue
+            self._reattach_gate = self.client.env.event()
+            try:
+                yield from self._reattach()
+            finally:
+                gate, self._reattach_gate = self._reattach_gate, None
+                gate.succeed(None)
+
+    def _reattach(self) -> Generator:
+        """Process: rebuild the transport and re-send REGISTER.
+
+        The daemon side validates the attach against the persisted index
+        and re-arms the entry with the new QP; the client-side tensor MRs
+        (registered once per job) are reused as-is.
+        """
+        client = self.client
+        client_qp, server_qp = yield from connect(
+            client.env, client.node.nic, client.daemon.node.nic)
+        conn = yield from client.tcp.connect(client.daemon.tcp.hostname,
+                                             client.daemon.port)
+        self.conn = conn
+        self.qp = client_qp
+        self._pending.clear()
+        message, size = protocol.register(self.model.name,
+                                          self.tensor_infos, server_qp)
+        reply = yield from self._rpc(message, size)
+        self._check(reply, protocol.OP_REGISTERED)
+        self.reattaches += 1
+
+    # -- operations ---------------------------------------------------------------
 
     def checkpoint(self, step: Optional[int] = None,
                    dirty: Optional[List[str]] = None) -> Generator:
@@ -54,11 +242,10 @@ class ModelSession:
         """
         if step is None:
             step = self.model.step
-        message, size = protocol.do_checkpoint(self.model.name, step,
-                                               dirty=dirty)
-        yield from self.conn.send(message, wire_size=size)
-        reply = yield from self.conn.recv()
-        self._check(reply, protocol.OP_CHECKPOINT_DONE)
+        reply = yield from self._call(
+            lambda: protocol.do_checkpoint(self.model.name, step,
+                                           dirty=dirty),
+            protocol.OP_CHECKPOINT_DONE)
         self.checkpoints += 1
         self.last_checkpoint_ns = reply["duration_ns"]
         return reply
@@ -69,23 +256,40 @@ class ModelSession:
         Returns the restored step; the model's tensors now physically
         hold the checkpointed bytes (the daemon RDMA-wrote them).
         """
-        message, size = protocol.do_restore(self.model.name)
-        yield from self.conn.send(message, wire_size=size)
-        reply = yield from self.conn.recv()
-        self._check(reply, protocol.OP_RESTORE_DONE)
+        reply = yield from self._call(
+            lambda: protocol.do_restore(self.model.name),
+            protocol.OP_RESTORE_DONE)
         step = reply["step"]
         self.model.step = step
         for tensor in self.model.tensors:
             tensor.step = step
         return step
 
+    def heartbeat(self) -> Generator:
+        """Process: renew the daemon-side lease for this session."""
+        return (yield from self._call(
+            lambda: protocol.heartbeat(self.model.name),
+            protocol.OP_HEARTBEAT_ACK))
+
     def unregister(self) -> Generator:
-        """Process: drop the model from the daemon and free its PMem."""
-        message, size = protocol.unregister(self.model.name)
-        yield from self.conn.send(message, wire_size=size)
-        reply = yield from self.conn.recv()
-        self._check(reply, protocol.OP_UNREGISTERED)
-        self.conn.close()
+        """Process: drop the model from the daemon and free its PMem.
+
+        Also releases the client-side resources: the per-tensor MRs are
+        deregistered and the session is removed from the client's session
+        list, so register/unregister churn (multi-tenant jobs) does not
+        leak MR table entries or handles.
+        """
+        yield from self._call(
+            lambda: protocol.unregister(self.model.name),
+            protocol.OP_UNREGISTERED)
+        if self.conn is not None:
+            self.conn.close()
+        for mr in self.mrs:
+            if mr.valid:
+                self.client.node.nic.deregister_mr(mr)
+        self.mrs = []
+        if self in self.client.sessions:
+            self.client.sessions.remove(self)
 
     @staticmethod
     def _check(reply: Dict, expected_op: str) -> None:
@@ -100,13 +304,15 @@ class PortusClient:
     """Per-node client; opens one session per registered model."""
 
     def __init__(self, env: Environment, node: Node, tcp: TcpStack,
-                 daemon: PortusDaemon) -> None:
+                 daemon: PortusDaemon,
+                 retry: Optional[RetryPolicy] = None) -> None:
         if node.nic is None:
             raise PortusError(f"{node.name} has no RNIC")
         self.env = env
         self.node = node
         self.tcp = tcp
         self.daemon = daemon
+        self.retry = retry
         self.sessions: List[ModelSession] = []
 
     def register(self, model: ModelInstance) -> Generator:
@@ -114,7 +320,9 @@ class PortusClient:
 
         Registers one MR per tensor (PeerMem must be enabled for the GPU
         by the cluster setup), connects a dedicated QP, and sends the
-        description packet.
+        description packet.  With a retry policy the attach itself rides
+        the same backoff loop as every other request (the daemon may be
+        restarting at registration time).
         """
         mrs = []
         tensor_infos = []
@@ -129,16 +337,24 @@ class PortusClient:
                 "rkey": mr.rkey,
                 "addr": mr.addr,
             })
-        client_qp, server_qp = yield from connect(
-            self.env, self.node.nic, self.daemon.node.nic)
-        conn = yield from self.tcp.connect(self.daemon.tcp.hostname,
-                                           self.daemon.port)
-        message, size = protocol.register(model.name, tensor_infos,
-                                          server_qp)
-        yield from conn.send(message, wire_size=size)
-        reply = yield from conn.recv()
-        ModelSession._check(reply, protocol.OP_REGISTERED)
-        session = ModelSession(self, model, conn, client_qp, mrs)
+        session = ModelSession(self, model, None, None, mrs,
+                               tensor_infos=tensor_infos, retry=self.retry)
+        policy = self.retry
+        start = self.env.now
+        attempt = 0
+        while True:
+            try:
+                yield from session._reattach()
+                break
+            except RETRYABLE_FAULTS:
+                attempt += 1
+                session.retries += 1
+                session._teardown_transport()
+                if policy is None or policy.exhausted(
+                        attempt, self.env.now - start):
+                    raise
+                yield self.env.timeout(policy.backoff_ns(attempt))
+        session.reattaches = 0  # the first attach is not a re-attach
         self.sessions.append(session)
         return session
 

@@ -17,7 +17,30 @@ DRAM ModelMap of :class:`ModelEntry`), and serves four operations:
 Each connection is served by its own process and each request by its own
 worker; a per-entry compare-and-swap guard (``busy``) keeps concurrent
 checkpoints of the *same* model exclusive while different models proceed
-fully in parallel — the paper's lock-free multi-tenant claim.
+fully in parallel — the paper's lock-free multi-tenant claim.  Replies
+carry the request id of the request they answer, so a client with several
+requests outstanding on one connection can match them (workers complete
+in any order).
+
+Fault tolerance:
+
+* every reply send is guarded — a client that died mid-request costs the
+  daemon nothing but a dropped-reply counter;
+* an optional per-request timeout (``request_timeout_ns``) bounds how
+  long a wedged datapath can hold an entry's CAS guard: the worker is
+  interrupted, the pull aborted, and the client told to retry;
+* an optional lease (``lease_ns`` + ``reaper_interval_ns``) detects
+  vanished clients: any request or HEARTBEAT renews the lease, and the
+  reaper detaches expired sessions — interrupting their in-flight pull
+  (which aborts the ACTIVE version) and flushing their QP so late WR
+  completions cannot deposit stale bytes;
+* :meth:`stop` / :meth:`crash` model the daemon process exiting or
+  dying: the port unbinds, connections drop, QPs flush, in-flight
+  handlers are killed, and (on crash) the pool closes un-synced — the
+  successor re-opens the pool and re-runs recovery.
+
+All three knobs default to off, leaving the fast path byte-identical to
+the non-hardened daemon.
 """
 
 from __future__ import annotations
@@ -31,13 +54,15 @@ from repro.core.index import ModelMeta, ModelTable
 from repro.core.modelmap import ModelMap
 from repro.dnn.tensor import TensorSpec
 from repro.dnn.dtypes import DType
-from repro.errors import (CheckpointInProgress, ModelNotFound, PortusError,
-                          ProtocolError, ReproError)
+from repro.errors import (CheckpointInProgress, ConnectionClosed,
+                          ModelNotFound, NotAttached, PortusError,
+                          ProcessInterrupted, ProtocolError, ReproError,
+                          RequestTimeout)
 from repro.hw.node import CpuSet, StorageNode
 from repro.metrics import CostLedger
 from repro.net.tcp import TcpStack
 from repro.pmem.pool import PmemPool
-from repro.sim import AllOf, Environment
+from repro.sim import AllOf, AnyOf, Environment
 from repro.units import usecs
 
 DEFAULT_PORT = 9900
@@ -68,6 +93,10 @@ class ModelEntry:
         self.client_tensors: Optional[List[Dict]] = None
         self.version_mrs: List = [None, None]
         self.busy = False  # the compare-and-swap guard
+        self.last_seen_ns = 0
+        #: The worker process currently holding the CAS guard, if any —
+        #: the interrupt target for lease expiry and daemon death.
+        self.inflight = None
 
     @property
     def attached(self) -> bool:
@@ -79,7 +108,10 @@ class PortusDaemon:
 
     def __init__(self, env: Environment, node: StorageNode, pool: PmemPool,
                  tcp: TcpStack, port: int = DEFAULT_PORT,
-                 workers: int = 16) -> None:
+                 workers: int = 16,
+                 request_timeout_ns: Optional[int] = None,
+                 lease_ns: Optional[int] = None,
+                 reaper_interval_ns: Optional[int] = None) -> None:
         if node.nic is None:
             raise PortusError(f"{node.name} has no RNIC")
         self.env = env
@@ -88,6 +120,9 @@ class PortusDaemon:
         self.tcp = tcp
         self.port = port
         self.workers = CpuSet(env, workers, name=f"{node.name}.portus")
+        self.request_timeout_ns = request_timeout_ns
+        self.lease_ns = lease_ns
+        self.reaper_interval_ns = reaper_interval_ns
         self.model_map = ModelMap()
         self.table = self._open_or_create_table()
         self.ledger = CostLedger()
@@ -95,7 +130,12 @@ class PortusDaemon:
         self.restores_completed = 0
         self.bytes_pulled = 0
         self.bytes_pushed = 0
+        self.dropped_replies = 0
+        self.reaped_sessions = 0
+        self.stopped = False
         self._started = False
+        self._listener = None
+        self._conns: List = []
 
     # -- bootstrap / recovery ----------------------------------------------------
 
@@ -118,44 +158,195 @@ class PortusDaemon:
         """Bind the control port and start accepting (non-blocking)."""
         if self._started:
             return
-        listener = self.tcp.listen(self.port)
-        self.env.process(self._accept_loop(listener), name="portus-accept")
+        self._listener = self.tcp.listen(self.port)
+        self.env.process(self._accept_loop(self._listener),
+                         name="portus-accept")
+        if self.lease_ns is not None and self.reaper_interval_ns is not None:
+            self.env.process(self._reaper_loop(), name="portus-reaper")
         self._started = True
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop serving: unbind the port and sever every connection.
+
+        The pool stays open and in-flight handlers run to completion —
+        their replies go nowhere (the connections are gone), but PMem
+        state ends consistent.  A successor daemon can bind the same
+        port immediately.
+        """
+        if self.stopped:
+            return
+        self.stopped = True
+        if self._listener is not None:
+            self._listener.close()
+        for conn in list(self._conns):
+            conn.drop()
+        self._conns.clear()
+
+    def crash(self) -> None:
+        """The daemon process dies abruptly.
+
+        Networking tears down as in :meth:`stop`, every attached QP is
+        flushed to the error state (in-flight WR data is discarded —
+        the DMA target mapping is gone), in-flight handlers are killed,
+        and the pool closes un-synced.  PMem keeps whatever was
+        persisted; the successor must :meth:`PmemPool.open` and recover.
+        Callers simulating *power loss* should :meth:`PmemPool.crash`
+        the pool before calling this.
+        """
+        self.stop()
+        if not self.pool.closed:
+            self.pool.close()
+        for _name, entry in self.model_map.items():
+            if entry.qp is not None:
+                entry.qp.transition_to_error("daemon crashed")
+            if entry.inflight is not None and entry.inflight.is_alive:
+                entry.inflight.interrupt("daemon crashed")
+
+    # -- serving -------------------------------------------------------------------
 
     def _accept_loop(self, listener) -> Generator:
         while True:
-            conn = yield from listener.accept()
+            try:
+                conn = yield from listener.accept()
+            except ConnectionClosed:
+                return
+            self._conns.append(conn)
             self.env.process(self._serve(conn), name="portus-conn")
 
     def _serve(self, conn) -> Generator:
-        from repro.errors import ConnectionClosed
-
-        while True:
-            try:
-                message = yield from conn.recv()
-            except ConnectionClosed:
-                return
-            self.env.process(self._dispatch(conn, message),
-                             name=f"portus-{message.get('op')}")
+        try:
+            while True:
+                try:
+                    message = yield from conn.recv()
+                except ConnectionClosed:
+                    return
+                self.env.process(self._dispatch(conn, message),
+                                 name=f"portus-{message.get('op')}")
+        finally:
+            if conn in self._conns:
+                self._conns.remove(conn)
 
     def _dispatch(self, conn, message: Dict) -> Generator:
         op = message.get("op")
+        rid = message.get("rid")
         handlers = {
             protocol.OP_REGISTER: self._handle_register,
             protocol.OP_DO_CHECKPOINT: self._handle_checkpoint,
             protocol.OP_DO_RESTORE: self._handle_restore,
             protocol.OP_UNREGISTER: self._handle_unregister,
             protocol.OP_LIST: self._handle_list,
+            protocol.OP_HEARTBEAT: self._handle_heartbeat,
         }
         handler = handlers.get(op)
         try:
             if handler is None:
                 raise ProtocolError(f"unknown op {op!r}")
+            self._touch_lease(message)
             yield from self.workers.execute(PER_REQUEST_CPU_NS)
-            reply, size = yield from handler(message)
+            if self.request_timeout_ns is None:
+                reply, size = yield from handler(message)
+            else:
+                reply, size = yield from self._run_with_timeout(op, handler,
+                                                                message)
+            # Stamp at completion too: a request that legitimately runs
+            # longer than the lease must not leave a stale stamp for the
+            # reaper to trip over before the client's next request.
+            self._touch_lease(message)
         except ReproError as exc:
             reply, size = protocol.error_reply(exc)
-        yield from conn.send(reply, wire_size=size)
+        if rid is not None:
+            reply["rid"] = rid
+        try:
+            yield from conn.send(reply, wire_size=size)
+        except ReproError:
+            # The client died or the connection dropped mid-reply; the
+            # work is done (or aborted) either way — drop the reply.
+            self.dropped_replies += 1
+
+    def _run_with_timeout(self, op: str, handler, message: Dict) -> Generator:
+        """Process: run *handler* but bound its wall time.
+
+        On expiry the worker is interrupted — its own cleanup aborts any
+        ACTIVE version and releases the CAS guard — and the client gets a
+        retryable :class:`RequestTimeout`.
+        """
+        worker = self.env.process(self._guarded(handler, message),
+                                  name=f"portus-{op}-worker")
+        yield AnyOf(self.env,
+                    [worker, self.env.timeout(self.request_timeout_ns)])
+        if not worker.triggered:
+            worker.interrupt("request timeout")
+            yield worker  # let the interrupt unwind the handler
+            raise RequestTimeout(
+                f"{op}: request exceeded {self.request_timeout_ns} ns")
+        kind, value = worker.value
+        if kind == "err":
+            raise value
+        return value
+
+    def _guarded(self, handler, message: Dict) -> Generator:
+        """Process: handler wrapper that never fails (outcome is tagged)."""
+        try:
+            result = yield from handler(message)
+        except ProcessInterrupted as exc:
+            # The reaper (or a crash) tore this session down mid-request.
+            # The raw interruption is a simulator artifact; what the
+            # client must see is a retryable "your attach is gone".
+            return ("err", NotAttached(str(exc)))
+        except ReproError as exc:
+            return ("err", exc)
+        return ("ok", result)
+
+    # -- lease bookkeeping -------------------------------------------------------
+
+    def _touch_lease(self, message: Dict) -> None:
+        """Any request from a session renews its model's lease."""
+        if self.lease_ns is None:
+            return
+        name = message.get("model")
+        entry = self.model_map.get(name) if name else None
+        if entry is not None:
+            entry.last_seen_ns = self.env.now
+
+    def _reaper_loop(self) -> Generator:
+        while not self.stopped:
+            yield self.env.timeout(self.reaper_interval_ns)
+            if self.stopped:
+                return
+            self._reap_expired()
+
+    def _reap_expired(self) -> None:
+        """Detach every session whose lease ran out.
+
+        An in-flight pull for a vanished client is interrupted (its
+        cleanup aborts the ACTIVE version and releases the CAS guard) and
+        the session QP is flushed so late completions cannot deposit
+        stale bytes into a slot a future checkpoint may claim.  The
+        persistent index is untouched — the model's committed versions
+        survive for the client's successor to re-attach to.
+        """
+        deadline = self.env.now - self.lease_ns
+        for name, entry in list(self.model_map.items()):
+            if not entry.attached or entry.last_seen_ns > deadline:
+                continue
+            if (self.request_timeout_ns is not None
+                    and entry.inflight is not None
+                    and entry.inflight.is_alive):
+                # A live request is proof of liveness: a healthy pull can
+                # legitimately outlast a short lease, and a wedged one is
+                # the request timeout's job to kill.  Only a daemon with
+                # no request timeout reaps in-flight work (last resort).
+                continue
+            self.reaped_sessions += 1
+            qp = entry.qp
+            entry.qp = None
+            entry.client_tensors = None
+            if entry.inflight is not None and entry.inflight.is_alive:
+                entry.inflight.interrupt(f"{name}: session lease expired")
+            if qp is not None:
+                qp.transition_to_error(f"{name}: session lease expired")
 
     # -- entry helpers ----------------------------------------------------------------
 
@@ -172,6 +363,11 @@ class PortusDaemon:
                 f"{entry.meta.mindex.model_name}: operation already "
                 "in flight")
         entry.busy = True
+        entry.inflight = self.env.active_process
+
+    def _release(self, entry: ModelEntry) -> None:
+        entry.busy = False
+        entry.inflight = None
 
     # -- REGISTER ------------------------------------------------------------------------
 
@@ -200,6 +396,7 @@ class PortusDaemon:
                     self.node.nic.register_mr(entry.meta.data_region(version))
         entry.qp = qp
         entry.client_tensors = tensors
+        entry.last_seen_ns = self.env.now
         return protocol.reply(protocol.OP_REGISTERED, model=name,
                               layers=len(tensors))
 
@@ -225,8 +422,9 @@ class PortusDaemon:
         dirty = message.get("dirty")
         entry = self._entry(name)
         if not entry.attached:
-            raise PortusError(f"{name}: no attached client to pull from")
+            raise NotAttached(f"{name}: no attached client to pull from")
         self._claim(entry)
+        qp = entry.qp  # pin: a re-attach mid-pull must not redirect us
         started = self.env.now
         try:
             flags_before = entry.meta.read_flags()
@@ -245,13 +443,26 @@ class PortusDaemon:
                                                     target, clean)
             try:
                 for window in _windows(pairs, QP_DEPTH):
-                    reads = [entry.qp.read(
+                    reads = [qp.read(
                         region_mr, descriptor.offset, client["rkey"],
                         client["addr"], descriptor.size,
                         label=f"pull:{name}:{descriptor.name}")
                         for descriptor, client in window]
-                    yield AllOf(self.env, reads)
+                    pending = AllOf(self.env, reads)
+                    try:
+                        yield pending
+                    except BaseException:
+                        # We may die here (WR fault, timeout interrupt,
+                        # lease reap, daemon crash) with reads still in
+                        # flight; mark the condition handled so a late
+                        # completion failure cannot crash the run.
+                        pending.defuse()
+                        raise
             except ReproError:
+                # Flush before aborting: in-flight reads must not land
+                # their (now stale) bytes in a slot the next checkpoint
+                # may claim.
+                qp.flush()
                 if not self.pool.closed:
                     abort_checkpoint(entry.meta, target)
                 raise
@@ -265,7 +476,7 @@ class PortusDaemon:
             yield self.env.timeout(FLUSH_BARRIER_NS)
             commit_checkpoint(entry.meta, target, step)
         finally:
-            entry.busy = False
+            self._release(entry)
         duration = self.env.now - started
         self.ledger.add("rdma_pull", duration)
         self.checkpoints_completed += 1
@@ -303,8 +514,9 @@ class PortusDaemon:
         name = message["model"]
         entry = self._entry(name)
         if not entry.attached:
-            raise PortusError(f"{name}: no attached client to push to")
+            raise NotAttached(f"{name}: no attached client to push to")
         self._claim(entry)
+        qp = entry.qp
         started = self.env.now
         try:
             version, step = valid_checkpoint(entry.meta)
@@ -313,15 +525,29 @@ class PortusDaemon:
                 PER_WQE_CPU_NS * entry.meta.mindex.layer_count)
             pairs = list(zip(entry.meta.mindex.descriptors,
                              entry.client_tensors))
-            for window in _windows(pairs, QP_DEPTH):
-                writes = [entry.qp.write(
-                    region_mr, descriptor.offset, client["rkey"],
-                    client["addr"], descriptor.size,
-                    label=f"push:{name}:{descriptor.name}")
-                    for descriptor, client in window]
-                yield AllOf(self.env, writes)
+            try:
+                for window in _windows(pairs, QP_DEPTH):
+                    writes = [qp.write(
+                        region_mr, descriptor.offset, client["rkey"],
+                        client["addr"], descriptor.size,
+                        label=f"push:{name}:{descriptor.name}")
+                        for descriptor, client in window]
+                    pending = AllOf(self.env, writes)
+                    try:
+                        yield pending
+                    except BaseException:
+                        pending.defuse()
+                        raise
+            except ReproError:
+                # A restore mutates nothing on PMem; just retire the
+                # in-flight WRs so they cannot write stale bytes into
+                # the client after it re-attaches and retries.
+                qp.flush()
+                raise
+            if self.pool.closed:
+                raise PortusError(f"{name}: server crashed during restore")
         finally:
-            entry.busy = False
+            self._release(entry)
         duration = self.env.now - started
         self.ledger.add("rdma_push", duration)
         self.restores_completed += 1
@@ -345,9 +571,21 @@ class PortusDaemon:
             self.table.remove(name)
             self.model_map.delete(name)
         finally:
-            entry.busy = False
+            self._release(entry)
         return protocol.reply(protocol.OP_UNREGISTERED, model=name)
         yield  # pragma: no cover - keeps this a generator
+
+    # -- HEARTBEAT ---------------------------------------------------------------------------
+
+    def _handle_heartbeat(self, message: Dict) -> Generator:
+        """Lease renewal (the touch already happened in dispatch; this
+        also validates that the model is still known)."""
+        name = message["model"]
+        entry = self._entry(name)
+        entry.last_seen_ns = self.env.now
+        return protocol.reply(protocol.OP_HEARTBEAT_ACK, model=name,
+                              attached=entry.attached)
+        yield  # pragma: no cover - generator protocol
 
     # -- LIST ------------------------------------------------------------------------------
 

@@ -21,6 +21,8 @@ OP_UNREGISTER = "UNREGISTER"
 OP_UNREGISTERED = "UNREGISTERED"
 OP_LIST = "LIST"
 OP_LIST_REPLY = "LIST_REPLY"
+OP_HEARTBEAT = "HEARTBEAT"
+OP_HEARTBEAT_ACK = "HEARTBEAT_ACK"
 OP_ERROR = "ERROR"
 
 _BASE_SIZE = 96
@@ -60,6 +62,12 @@ def unregister(model_name: str) -> Tuple[Dict[str, Any], int]:
 
 def list_models() -> Tuple[Dict[str, Any], int]:
     return {"op": OP_LIST}, 64
+
+
+def heartbeat(model_name: str) -> Tuple[Dict[str, Any], int]:
+    """Lease renewal for an attached session (any request renews the
+    lease too; explicit heartbeats cover long idle stretches)."""
+    return {"op": OP_HEARTBEAT, "model": model_name}, 64
 
 
 def reply(op: str, **fields: Any) -> Tuple[Dict[str, Any], int]:

@@ -69,6 +69,11 @@ class QpStateError(RdmaError):
     """Operation posted to a queue pair in the wrong state."""
 
 
+class WorkRequestError(RdmaError):
+    """A posted work request completed with an error status (the CQE
+    carried IBV_WC_RETRY_EXC_ERR / IBV_WC_WR_FLUSH_ERR and friends)."""
+
+
 # --- persistent memory ---------------------------------------------------------
 
 
@@ -122,6 +127,10 @@ class ConnectionClosed(NetworkError):
     """The peer closed the control-plane connection."""
 
 
+class LinkDown(NetworkError):
+    """A fabric path was requested while one of its links is down."""
+
+
 # --- Portus protocol --------------------------------------------------------------
 
 
@@ -147,3 +156,21 @@ class CheckpointInProgress(PortusError):
 
 class ProtocolError(PortusError):
     """Malformed or out-of-order control-plane message."""
+
+
+class DaemonUnavailable(PortusError):
+    """The daemon is (re)starting, crashed, or lost its pool mid-request.
+
+    Transient by design: a client retry after re-attach is expected to
+    succeed once the daemon is back."""
+
+
+class NotAttached(PortusError):
+    """The model exists in the index but no live client is attached
+    (e.g. right after a daemon restart, before the client re-registers,
+    or after its lease was reaped)."""
+
+
+class RequestTimeout(PortusError):
+    """A control-plane request exceeded its deadline (client gave up
+    waiting for the reply, or the daemon aborted a wedged handler)."""

@@ -1,0 +1,18 @@
+"""Fault injection for the Portus datapath.
+
+:mod:`repro.faults.plan` describes *what* goes wrong and *when* — a
+declarative, seeded, fully deterministic schedule of fault events.
+:mod:`repro.faults.injector` makes it happen inside a running
+simulation: link flaps, RDMA completion errors, QP error transitions,
+TCP connection drops, client death, daemon crash/restart, PMem power
+loss.
+
+The split mirrors real chaos tooling: plans are data (loggable,
+diffable, replayable from a seed), the injector is the only component
+that touches live simulation objects.
+"""
+
+from repro.faults.plan import (FaultEvent, FaultKind, FaultPlan)
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultEvent", "FaultKind", "FaultPlan", "FaultInjector"]

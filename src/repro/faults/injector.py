@@ -1,0 +1,220 @@
+"""The fault injector: applies a :class:`FaultPlan` to a live cluster.
+
+The injector is the only component that reaches into simulation objects
+to break them.  Each primitive is also callable directly (targeted
+tests); :meth:`FaultInjector.install` runs a whole plan on its own
+process, logging every applied event with its simulation timestamp so
+two runs of the same seed can be diffed line by line.
+
+Injection primitives and what they model:
+
+* ``set_link`` — a fabric link going down/up (cable pull, port flap);
+  new paths through the endpoint raise ``LinkDown``.
+* ``set_wr_fault_rate`` — a flaky HCA: every posted one-sided WR
+  independently completes in error or never completes ("hang", a lost
+  completion that only a QP flush retires).  Draws come from a named
+  seeded stream, so the fault pattern is replayable.
+* ``qp_error`` — firmware reset: every QP on a NIC transitions to the
+  error state and flushes its outstanding WRs.
+* ``tcp_drop`` — RST storm: established control-plane connections of a
+  host are severed.
+* ``kill_client`` — a training process dies mid-whatever: connections
+  drop, its QPs error out, its MRs deregister, its sessions vanish
+  without UNREGISTER (the daemon-side lease reaper is what notices).
+* ``crash_daemon`` / ``restart_daemon`` — the storage daemon dying
+  (PMem intact) and its successor recovering the index on the same port.
+* ``power_loss`` — the storage server loses power: unflushed PMem is
+  lost or torn, the daemon dies with the machine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Generator, List, Optional, Union
+
+from repro.errors import ReproError, WorkRequestError
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.rdma.nic import Rnic
+from repro.sim import Environment
+
+
+class FaultInjector:
+    """Applies fault events to a :class:`~repro.harness.cluster.PaperCluster`."""
+
+    def __init__(self, env: Environment, cluster=None, rand=None) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.rand = rand if rand is not None else getattr(cluster, "rand",
+                                                          None)
+        #: Applied-event log: ``(sim_time_ns, description)`` tuples.
+        self.log: List = []
+        self._handlers: Dict[str, Callable[[FaultEvent], None]] = {
+            FaultKind.LINK_DOWN: self._apply_link_down,
+            FaultKind.LINK_UP: self._apply_link_up,
+            FaultKind.WR_FAULT_RATE: self._apply_wr_fault_rate,
+            FaultKind.QP_ERROR: self._apply_qp_error,
+            FaultKind.TCP_DROP: self._apply_tcp_drop,
+            FaultKind.CLIENT_KILL: self._apply_client_kill,
+            FaultKind.DAEMON_CRASH: self._apply_daemon_crash,
+            FaultKind.DAEMON_RESTART: self._apply_daemon_restart,
+            FaultKind.POWER_LOSS: self._apply_power_loss,
+        }
+
+    # -- plan execution ----------------------------------------------------------
+
+    def install(self, plan: FaultPlan):
+        """Start a process that applies *plan* on schedule; returns it."""
+        return self.env.process(self._run_plan(plan), name="fault-injector")
+
+    def _run_plan(self, plan: FaultPlan) -> Generator:
+        for event in plan:
+            delay = event.at_ns - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self.apply(event)
+
+    def apply(self, event: FaultEvent) -> None:
+        """Apply one event now and log it."""
+        self._handlers[event.kind](event)
+        self.log.append((self.env.now, event.describe(with_time=False)))
+
+    def log_lines(self) -> List[str]:
+        return [f"{now}ns {what}" for now, what in self.log]
+
+    # -- primitives --------------------------------------------------------------
+
+    def set_link(self, endpoint: str, up: bool) -> None:
+        self.cluster.fabric.set_link(endpoint, up)
+
+    def set_wr_fault_rate(self, nic: Union[str, Rnic], rate: float,
+                          hang_rate: float = 0.0,
+                          rng: Optional[random.Random] = None) -> None:
+        """Make every WR posted on *nic* fail with probability *rate* or
+        hang with probability *hang_rate* (clear with both at 0)."""
+        nic = self._nic(nic)
+        if rate <= 0 and hang_rate <= 0:
+            nic.fault_hook = None
+            return
+        if rng is None:
+            if self.rand is None:
+                raise ValueError("set_wr_fault_rate needs an rng or a "
+                                 "cluster with RandomStreams")
+            rng = self.rand.stream(f"faults.wr.{nic.name}")
+
+        def hook(kind: str, label: str, _length: int):
+            draw = rng.random()
+            if draw < hang_rate:
+                return "hang"
+            if draw < hang_rate + rate:
+                return WorkRequestError(
+                    f"{label}: injected {kind} completion error")
+            return None
+
+        nic.fault_hook = hook
+
+    def qp_error(self, nic: Union[str, Rnic],
+                 reason: str = "injected QP error") -> int:
+        """Error out every live QP on *nic*; returns how many."""
+        nic = self._nic(nic)
+        hit = 0
+        for qp in nic.qps:
+            if qp.error is None:
+                qp.transition_to_error(reason)
+                hit += 1
+        return hit
+
+    def drop_tcp(self, hostname: str) -> int:
+        """Sever established control-plane connections of *hostname*."""
+        dropped = 0
+        daemon = self.cluster.daemon
+        if hostname == daemon.tcp.hostname:
+            for conn in list(daemon._conns):
+                conn.drop()
+                dropped += 1
+            return dropped
+        client = self.cluster._portus_clients.get(hostname)
+        if client is not None:
+            for session in client.sessions:
+                if session.conn is not None and not session.conn.closed:
+                    session.conn.drop()
+                    dropped += 1
+        return dropped
+
+    def kill_client(self, node_name: str) -> int:
+        """The client process on *node_name* dies; returns sessions lost.
+
+        Everything client-side evaporates: connections drop, QPs go to
+        error (flushing any WR the daemon still has in flight toward
+        this client), MRs deregister (late one-sided access now raises
+        RkeyViolation, like DMA into a freed process).  The daemon is
+        *not* told — only its lease reaper can reclaim the entry.
+        """
+        client = self.cluster._portus_clients.pop(node_name, None)
+        if client is None:
+            return 0
+        killed = 0
+        for session in list(client.sessions):
+            if session.conn is not None and not session.conn.closed:
+                session.conn.drop()
+            if session.qp is not None and session.qp.error is None:
+                session.qp.transition_to_error("client process died")
+            for mr in session.mrs:
+                if mr.valid:
+                    client.node.nic.deregister_mr(mr)
+            session.mrs = []
+            killed += 1
+        client.sessions = []
+        return killed
+
+    def crash_daemon(self) -> None:
+        self.cluster.kill_daemon()
+
+    def restart_daemon(self) -> None:
+        if not self.cluster.daemon.stopped:
+            self.cluster.kill_daemon()
+        self.cluster.restart_daemon()
+
+    def power_loss(self) -> None:
+        self.cluster.crash_server()
+
+    # -- handler shims -----------------------------------------------------------
+
+    def _apply_link_down(self, event: FaultEvent) -> None:
+        self.set_link(event.target, up=False)
+
+    def _apply_link_up(self, event: FaultEvent) -> None:
+        self.set_link(event.target, up=True)
+
+    def _apply_wr_fault_rate(self, event: FaultEvent) -> None:
+        self.set_wr_fault_rate(event.target,
+                               rate=event.params.get("rate", 0.0),
+                               hang_rate=event.params.get("hang_rate", 0.0))
+
+    def _apply_qp_error(self, event: FaultEvent) -> None:
+        self.qp_error(event.target)
+
+    def _apply_tcp_drop(self, event: FaultEvent) -> None:
+        self.drop_tcp(event.target or self.cluster.daemon.tcp.hostname)
+
+    def _apply_client_kill(self, event: FaultEvent) -> None:
+        self.kill_client(event.target)
+
+    def _apply_daemon_crash(self, _event: FaultEvent) -> None:
+        self.crash_daemon()
+
+    def _apply_daemon_restart(self, _event: FaultEvent) -> None:
+        self.restart_daemon()
+
+    def _apply_power_loss(self, _event: FaultEvent) -> None:
+        self.power_loss()
+
+    # -- lookup ------------------------------------------------------------------
+
+    def _nic(self, nic: Union[str, Rnic]) -> Rnic:
+        if isinstance(nic, Rnic):
+            return nic
+        cluster = self.cluster
+        for node in [cluster.server, cluster.volta] + cluster.amperes:
+            if node.nic is not None and node.nic.name == nic:
+                return node.nic
+        raise ReproError(f"no NIC named {nic!r} in the cluster")

@@ -1,0 +1,182 @@
+"""Declarative fault plans: what breaks, where, and when.
+
+A :class:`FaultPlan` is an ordered schedule of :class:`FaultEvent`\\ s.
+Plans are plain data — they can be built by hand for a targeted test,
+generated from a seeded RNG for chaos sweeps (:meth:`FaultPlan.random`),
+logged as one line per event, and replayed bit-identically from the same
+seed.  Nothing in this module touches a live simulation; that is the
+:class:`~repro.faults.injector.FaultInjector`'s job.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.units import msecs, usecs
+
+
+class FaultKind:
+    """The fault vocabulary (string constants, not an enum, so plans
+    serialize trivially)."""
+
+    #: Take a fabric endpoint's link down / bring it back.
+    LINK_DOWN = "link_down"
+    LINK_UP = "link_up"
+    #: Install (or clear, with rate 0) a WR completion-fault rate on a
+    #: NIC: each posted one-sided WR independently fails or hangs.
+    WR_FAULT_RATE = "wr_fault_rate"
+    #: Transition every QP on a NIC to the error state (port flap /
+    #: firmware reset: outstanding WRs flush).
+    QP_ERROR = "qp_error"
+    #: Sever established TCP connections of one host (RST storm).
+    TCP_DROP = "tcp_drop"
+    #: A client process dies: its connections drop, QPs error out, MRs
+    #: deregister, sessions vanish without UNREGISTER.
+    CLIENT_KILL = "client_kill"
+    #: The daemon process dies (no power loss: PMem bytes survive).
+    DAEMON_CRASH = "daemon_crash"
+    #: A fresh daemon starts on the same port, re-opening the pool and
+    #: re-running index recovery.
+    DAEMON_RESTART = "daemon_restart"
+    #: Power loss on the storage server: unflushed PMem is lost or torn
+    #: and the daemon dies with the machine.
+    POWER_LOSS = "power_loss"
+
+    ALL = (LINK_DOWN, LINK_UP, WR_FAULT_RATE, QP_ERROR, TCP_DROP,
+           CLIENT_KILL, DAEMON_CRASH, DAEMON_RESTART, POWER_LOSS)
+
+
+class FaultEvent:
+    """One scheduled fault: *kind* hits *target* at *at_ns*."""
+
+    def __init__(self, at_ns: int, kind: str, target: Optional[str] = None,
+                 params: Optional[Dict[str, Any]] = None) -> None:
+        if at_ns < 0:
+            raise ValueError(f"fault scheduled in the past: {at_ns}")
+        if kind not in FaultKind.ALL:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self.at_ns = int(at_ns)
+        self.kind = kind
+        self.target = target
+        self.params = dict(params or {})
+
+    def describe(self, with_time: bool = True) -> str:
+        """One deterministic log line (used by the determinism check)."""
+        extra = ""
+        if self.params:
+            inner = ",".join(f"{k}={self.params[k]!r}"
+                             for k in sorted(self.params))
+            extra = f" [{inner}]"
+        where = f" @{self.target}" if self.target else ""
+        prefix = f"{self.at_ns}ns " if with_time else ""
+        return f"{prefix}{self.kind}{where}{extra}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"at_ns": self.at_ns, "kind": self.kind,
+                "target": self.target, "params": dict(self.params)}
+
+    def __repr__(self) -> str:
+        return f"<FaultEvent {self.describe()}>"
+
+
+class FaultPlan:
+    """An ordered fault schedule."""
+
+    def __init__(self, events: Optional[Sequence[FaultEvent]] = None) -> None:
+        self.events: List[FaultEvent] = sorted(events or [],
+                                               key=lambda e: e.at_ns)
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.at_ns)
+        return self
+
+    def at(self, at_ns: int, kind: str, target: Optional[str] = None,
+           **params: Any) -> "FaultPlan":
+        """Fluent shorthand: ``plan.at(t, FaultKind.LINK_DOWN, "volta")``."""
+        return self.add(FaultEvent(at_ns, kind, target, params))
+
+    def describe(self) -> str:
+        return "\n".join(event.describe() for event in self.events)
+
+    def shifted(self, delta_ns: int) -> "FaultPlan":
+        """A copy with every event moved *delta_ns* later.
+
+        Plans are usually authored with times relative to "the workload
+        starts now"; injection works in absolute simulation time, so the
+        caller anchors the plan with ``plan.shifted(env.now)``.
+        """
+        return FaultPlan([FaultEvent(e.at_ns + delta_ns, e.kind, e.target,
+                                     e.params) for e in self.events])
+
+    def horizon_ns(self) -> int:
+        """Time of the last scheduled event (0 for an empty plan)."""
+        return self.events[-1].at_ns if self.events else 0
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<FaultPlan {len(self.events)} events>"
+
+    # -- generators ---------------------------------------------------------------
+
+    @classmethod
+    def random(cls, rng: random.Random, horizon_ns: int,
+               events: int = 4,
+               endpoints: Sequence[str] = ("volta",),
+               nics: Sequence[str] = ("server", "volta"),
+               clients: Sequence[str] = ("volta",),
+               allow_power_loss: bool = True,
+               allow_daemon_faults: bool = True,
+               max_wr_rate: float = 0.3) -> "FaultPlan":
+        """A randomized but *well-formed* schedule.
+
+        Well-formed means faults that need an undo get one: a link that
+        goes down comes back up, a WR fault rate set non-zero is cleared,
+        a crashed/power-lost daemon is restarted — all inside the
+        horizon, so a retrying client can always eventually make
+        progress.  Every draw comes from *rng*, so the same seed yields
+        the same plan, byte for byte.
+        """
+        kinds = [FaultKind.LINK_DOWN, FaultKind.WR_FAULT_RATE,
+                 FaultKind.QP_ERROR, FaultKind.TCP_DROP]
+        if allow_daemon_faults:
+            kinds.append(FaultKind.DAEMON_CRASH)
+        if allow_power_loss:
+            kinds.append(FaultKind.POWER_LOSS)
+        plan = cls()
+        for _ in range(events):
+            at_ns = rng.randrange(1, max(2, horizon_ns))
+            kind = rng.choice(kinds)
+            if kind == FaultKind.LINK_DOWN:
+                target = rng.choice(list(endpoints))
+                outage = rng.randrange(usecs(50), msecs(2))
+                plan.at(at_ns, FaultKind.LINK_DOWN, target)
+                plan.at(at_ns + outage, FaultKind.LINK_UP, target)
+            elif kind == FaultKind.WR_FAULT_RATE:
+                target = rng.choice(list(nics))
+                rate = rng.uniform(0.02, max_wr_rate)
+                hang = rng.uniform(0.0, 0.1)
+                burst = rng.randrange(usecs(100), msecs(5))
+                plan.at(at_ns, FaultKind.WR_FAULT_RATE, target,
+                        rate=round(rate, 4), hang_rate=round(hang, 4))
+                plan.at(at_ns + burst, FaultKind.WR_FAULT_RATE, target,
+                        rate=0.0, hang_rate=0.0)
+            elif kind == FaultKind.QP_ERROR:
+                plan.at(at_ns, FaultKind.QP_ERROR, rng.choice(list(nics)))
+            elif kind == FaultKind.TCP_DROP:
+                plan.at(at_ns, FaultKind.TCP_DROP, "server")
+            elif kind == FaultKind.DAEMON_CRASH:
+                downtime = rng.randrange(usecs(100), msecs(3))
+                plan.at(at_ns, FaultKind.DAEMON_CRASH)
+                plan.at(at_ns + downtime, FaultKind.DAEMON_RESTART)
+            elif kind == FaultKind.POWER_LOSS:
+                downtime = rng.randrange(usecs(200), msecs(3))
+                plan.at(at_ns, FaultKind.POWER_LOSS)
+                plan.at(at_ns + downtime, FaultKind.DAEMON_RESTART)
+        return plan

@@ -39,7 +39,9 @@ class PaperCluster:
     """One fully-wired instance of the evaluation testbed."""
 
     def __init__(self, seed: int = 0, ampere_nodes: int = 2,
-                 start_daemon: bool = True) -> None:
+                 start_daemon: bool = True,
+                 daemon_kwargs: Optional[Dict] = None,
+                 client_retry=None) -> None:
         env = Environment()
         self.env = env
         self.rand = RandomStreams(seed)
@@ -81,8 +83,10 @@ class PaperCluster:
         # Storage stacks.
         self.portus_pool = PmemPool.format(self.server.pmem_devdax,
                                            max_extents=65536)
+        self._daemon_kwargs = dict(daemon_kwargs or {})
+        self.client_retry = client_retry
         self.daemon = PortusDaemon(env, self.server, self.portus_pool,
-                                   self.server_tcp)
+                                   self.server_tcp, **self._daemon_kwargs)
         if start_daemon:
             self.daemon.start()
         self.beegfs_backing = DaxFilesystem(env, self.server.pmem_fsdax)
@@ -119,7 +123,7 @@ class PaperCluster:
         client = self._portus_clients.get(node.name)
         if client is None:
             client = PortusClient(self.env, node, self.tcp_of(node),
-                                  self.daemon)
+                                  self.daemon, retry=self.client_retry)
             self._portus_clients[node.name] = client
         return client
 
@@ -150,17 +154,33 @@ class PaperCluster:
         session = yield from client.register(instance)
         return session
 
-    def restart_daemon(self) -> None:
-        """Kill and restart the daemon process: the pool is re-opened and
-        the index recovered from PMem (ModelMap rebuilt)."""
+    def restart_daemon(self, port: Optional[int] = None) -> None:
+        """Kill and restart the daemon process: the old instance's
+        networking tears down, the pool is re-opened, and the index
+        recovered from PMem (ModelMap rebuilt).  The successor binds the
+        *same* port by default, so clients that survived the daemon can
+        reconnect without rediscovery."""
+        old_port = self.daemon.port
+        if not self.daemon.stopped:
+            self.daemon.crash()
         pool = PmemPool.open(self.server.pmem_devdax)
         self.portus_pool = pool
         self.daemon = PortusDaemon(self.env, self.server, pool,
                                    self.server_tcp,
-                                   port=self.daemon.port + 1)
+                                   port=old_port if port is None else port,
+                                   **self._daemon_kwargs)
         self.daemon.start()
-        self._portus_clients.clear()
+        for client in self._portus_clients.values():
+            client.daemon = self.daemon
+
+    def kill_daemon(self) -> None:
+        """The daemon process dies (SIGKILL): networking gone, QPs
+        flushed, pool closed un-synced — but no power loss, so persisted
+        bytes survive for :meth:`restart_daemon` to recover."""
+        self.daemon.crash()
 
     def crash_server(self) -> None:
-        """Power-fail the PMem pool (unflushed data lost or torn)."""
+        """Power-fail the server: the PMem pool loses unflushed data
+        (lost or torn) and the daemon process dies with the machine."""
         self.portus_pool.crash(self.rand.stream("crash"))
+        self.daemon.crash()

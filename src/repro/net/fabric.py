@@ -14,22 +14,30 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.errors import NetworkError
+from repro.errors import LinkDown, NetworkError
 from repro.sim import Environment, SharedChannel
 from repro.units import gbytes, usecs
 
 
 class Port:
-    """An endpoint attachment: one TX and one RX channel."""
+    """An endpoint attachment: one TX and one RX channel.
+
+    ``up`` is the link state the fault injector toggles: a flapped link
+    refuses *new* paths (operations posted while it is down fail with
+    :class:`LinkDown`); in-flight transfers are modelled as already
+    committed to the wire and complete normally.
+    """
 
     def __init__(self, env: Environment, name: str,
                  link_bw_bps: float) -> None:
         self.name = name
         self.tx = SharedChannel(env, link_bw_bps, f"{name}.tx")
         self.rx = SharedChannel(env, link_bw_bps, f"{name}.rx")
+        self.up = True
 
     def __repr__(self) -> str:
-        return f"<Port {self.name}>"
+        state = "up" if self.up else "DOWN"
+        return f"<Port {self.name} {state}>"
 
 
 class Fabric:
@@ -70,7 +78,14 @@ class Fabric:
         """
         if src is dst:
             return [], 0
+        for port in (src, dst):
+            if not port.up:
+                raise LinkDown(f"link {port.name} is down")
         return [src.tx, dst.rx], self.latency_ns
+
+    def set_link(self, endpoint_name: str, up: bool) -> None:
+        """Administratively (or faultily) bring a port down or back up."""
+        self.port(endpoint_name).up = up
 
     def __repr__(self) -> str:
         return f"<Fabric {self.name} ports={sorted(self._ports)}>"

@@ -71,6 +71,8 @@ class TcpConnection:
 
     def recv(self) -> Generator:
         """Process: wait for the next message from the peer."""
+        if self.closed:
+            raise ConnectionClosed("recv() on closed connection")
         message = yield self._inbox.get()
         if isinstance(message, _Closed):
             raise ConnectionClosed("peer closed the connection")
@@ -84,8 +86,24 @@ class TcpConnection:
         if self._peer is not None and not self._peer.closed:
             self._peer._inbox.put(_Closed())
 
+    def drop(self) -> None:
+        """Abruptly sever the connection (fault injection / process death).
+
+        Unlike :meth:`close`, both sides are torn down at once: pending
+        receivers on *either* end observe :class:`ConnectionClosed`, as
+        after an RST or the peer's host vanishing.
+        """
+        for side in (self, self._peer):
+            if side is not None and not side.closed:
+                side.closed = True
+                side._inbox.put(_Closed())
+
     def __repr__(self) -> str:
         return f"<TcpConnection {self._local.name} -> {self._remote.name}>"
+
+
+class _ListenerClosed:
+    """Sentinel queued to wake a pending accept when the listener closes."""
 
 
 class TcpListener:
@@ -95,11 +113,35 @@ class TcpListener:
         self._stack = stack
         self.port_number = port_number
         self._backlog: Store = Store(stack.env)
+        self.closed = False
 
     def accept(self) -> Generator:
         """Process: wait for the next inbound connection."""
+        if self.closed:
+            raise ConnectionClosed(
+                f"accept() on closed listener :{self.port_number}")
         connection = yield self._backlog.get()
+        if isinstance(connection, _ListenerClosed):
+            raise ConnectionClosed(
+                f"listener :{self.port_number} closed while accepting")
         return connection
+
+    def close(self) -> None:
+        """Unbind the port and wake any pending accept.
+
+        Connections already established stay open; connections sitting in
+        the backlog are dropped (the client will observe the close on its
+        next send/recv), so a restarted daemon can re-bind the same port
+        without inheriting half-open state.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self._stack._listeners.pop(self.port_number, None)
+        for pending in self._backlog.items:
+            if isinstance(pending, TcpConnection):
+                pending.drop()
+        self._backlog.put(_ListenerClosed())
 
 
 class TcpStack:

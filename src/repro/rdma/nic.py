@@ -56,6 +56,13 @@ class Rnic:
         self._mr_table: Dict[int, "MemoryRegion"] = {}
         self._peer_devices: set = set()
         self._next_key = 0x1000
+        #: Every QueuePair created on this NIC (fault injection surface).
+        self.qps: List = []
+        #: Optional fault-injection hook consulted at WR post time:
+        #: ``hook(kind, label, length)`` returns None (healthy), an
+        #: exception instance (the WR completes with that error), or the
+        #: string ``"hang"`` (the WR never completes — a wedged QP).
+        self.fault_hook = None
         node.nic = self
 
     # -- memory registration -----------------------------------------------------

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.errors import QpStateError
+from repro.errors import QpStateError, WorkRequestError
 from repro.hw.content import TornContent
 from repro.rdma.nic import Rnic
 from repro.sim import Environment, Event, Store, Transfer
@@ -64,14 +64,38 @@ class QueuePair:
         self.remote: Optional["QueuePair"] = None
         self._recv_queue: Store = Store(env)
         self.connected = False
+        #: Non-None once the QP transitioned to the error state.
+        self.error: Optional[str] = None
+        #: Flush generation: bumped by :meth:`flush`; outstanding WRs
+        #: posted under an older generation complete with WR_FLUSH_ERR.
+        self.epoch = 0
+        self._flush_waiters: list = []
+        nic.qps.append(self)
 
     def _bind(self, remote: "QueuePair") -> None:
         self.remote = remote
         self.connected = True
 
     def _require_connected(self) -> None:
+        if self.error is not None:
+            raise QpStateError(f"queue pair is in error state: {self.error}")
         if not self.connected or self.remote is None:
             raise QpStateError("queue pair is not in RTS state")
+
+    def flush(self) -> None:
+        """Invalidate every outstanding WR (their completions fail with
+        :class:`WorkRequestError` and their data is discarded) — what a
+        modify-to-ERR + drain does on a real QP."""
+        self.epoch += 1
+        waiters, self._flush_waiters = self._flush_waiters, []
+        for parked in waiters:
+            parked.succeed(None)
+
+    def transition_to_error(self, reason: str = "QP error") -> None:
+        """Move the QP to the error state: new posts are refused and
+        outstanding WRs are flushed."""
+        self.error = reason
+        self.flush()
 
     # -- one-sided verbs -----------------------------------------------------------
 
@@ -107,7 +131,20 @@ class QueuePair:
                    local_mr: MemoryRegion, local_offset: int, rkey: int,
                    remote_addr: int, length: int,
                    label: str) -> Generator:
+        posted_epoch = self.epoch
         try:
+            hook = self.nic.fault_hook
+            if hook is not None:
+                injected = hook(kind, label, length)
+                if injected == "hang":
+                    # The WR never completes (lost completion / wedged
+                    # QP) unless a flush retires it.
+                    yield from self._hang(label)
+                elif injected is not None:
+                    yield self.env.timeout(
+                        self.nic.read_latency_ns if kind == "read"
+                        else self.nic.write_latency_ns)
+                    raise injected
             remote_nic = self.remote.nic
             fabric = self.nic.fabric
             if not local_mr.valid:
@@ -141,6 +178,11 @@ class QueuePair:
                 self.env, src_channels + wire + dst_channels, length,
                 latency_ns=base_latency, label=label)
             yield transfer
+            if self.epoch != posted_epoch:
+                # The QP was flushed mid-flight (abort / error
+                # transition): the landed bytes are discarded and the
+                # completion reports a flush error.
+                raise WorkRequestError(f"{label}: WR flushed")
             if src_mr.allocation.version != version_before:
                 content = TornContent(
                     length, note=f"{label}: source mutated mid-flight")
@@ -149,6 +191,13 @@ class QueuePair:
             completion.fail(exc)
             return
         completion.succeed(length)
+
+    def _hang(self, label: str) -> Generator:
+        """Park until a flush retires the lost WR, then fail it."""
+        parked = self.env.event()
+        self._flush_waiters.append(parked)
+        yield parked
+        raise WorkRequestError(f"{label}: WR flushed after hang")
 
     # -- two-sided verbs ----------------------------------------------------------
 
