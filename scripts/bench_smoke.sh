@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Seconds-long smoke pass over the benchmark suite: every benchmark
+# datapath exercised with the tiniest model/config for one iteration
+# (see benchmarks/bench_smoke.py).  Use before committing datapath
+# changes; the full suite is `pytest benchmarks/`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python -m pytest benchmarks -m bench_smoke -q "$@"

@@ -49,11 +49,17 @@ class ModelSession:
     def __init__(self, client: "PortusClient", model: ModelInstance,
                  conn, qp, mrs: List,
                  tensor_infos: Optional[List[Dict[str, Any]]] = None,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 num_qps: int = 1) -> None:
+        if num_qps < 1:
+            raise PortusError(f"num_qps must be >= 1, got {num_qps}")
         self.client = client
         self.model = model
         self.conn = conn
-        self.qp = qp
+        #: The stripe set: ``num_qps`` QPs are (re)connected per attach
+        #: and the daemon stripes each checkpoint/restore across them.
+        self.num_qps = num_qps
+        self.qps: List = [qp] if qp is not None else []
         self.mrs = mrs
         self.tensor_infos = tensor_infos
         self.retry = retry
@@ -68,6 +74,11 @@ class ModelSession:
         self._pump_busy = False
         self._waiters: List = []
         self._reattach_gate = None
+
+    @property
+    def qp(self):
+        """The primary QP (compatibility view of the stripe set)."""
+        return self.qps[0] if self.qps else None
 
     # -- request/reply plumbing ---------------------------------------------------
 
@@ -186,9 +197,10 @@ class ModelSession:
         if self.conn is not None and not self.conn.closed:
             self.conn.close()
         self.conn = None
-        if self.qp is not None and self.qp.error is None:
-            self.qp.transition_to_error("client tore the session down")
-        self.qp = None
+        for qp in self.qps:
+            if qp.error is None:
+                qp.transition_to_error("client tore the session down")
+        self.qps = []
         self._pending.clear()
         self._wake_waiters()
 
@@ -215,15 +227,20 @@ class ModelSession:
         (registered once per job) are reused as-is.
         """
         client = self.client
-        client_qp, server_qp = yield from connect(
-            client.env, client.node.nic, client.daemon.node.nic)
+        client_qps = []
+        server_qps = []
+        for _lane in range(self.num_qps):
+            client_qp, server_qp = yield from connect(
+                client.env, client.node.nic, client.daemon.node.nic)
+            client_qps.append(client_qp)
+            server_qps.append(server_qp)
         conn = yield from client.tcp.connect(client.daemon.tcp.hostname,
                                              client.daemon.port)
         self.conn = conn
-        self.qp = client_qp
+        self.qps = client_qps
         self._pending.clear()
         message, size = protocol.register(self.model.name,
-                                          self.tensor_infos, server_qp)
+                                          self.tensor_infos, server_qps)
         reply = yield from self._rpc(message, size)
         self._check(reply, protocol.OP_REGISTERED)
         self.reattaches += 1
@@ -305,7 +322,8 @@ class PortusClient:
 
     def __init__(self, env: Environment, node: Node, tcp: TcpStack,
                  daemon: PortusDaemon,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 num_qps: int = 1) -> None:
         if node.nic is None:
             raise PortusError(f"{node.name} has no RNIC")
         self.env = env
@@ -313,6 +331,7 @@ class PortusClient:
         self.tcp = tcp
         self.daemon = daemon
         self.retry = retry
+        self.num_qps = num_qps
         self.sessions: List[ModelSession] = []
 
     def register(self, model: ModelInstance) -> Generator:
@@ -338,7 +357,8 @@ class PortusClient:
                 "addr": mr.addr,
             })
         session = ModelSession(self, model, None, None, mrs,
-                               tensor_infos=tensor_infos, retry=self.retry)
+                               tensor_infos=tensor_infos, retry=self.retry,
+                               num_qps=self.num_qps)
         policy = self.retry
         start = self.env.now
         attempt = 0

@@ -50,6 +50,8 @@ from typing import Dict, Generator, List, Optional
 from repro.core import protocol
 from repro.core.consistency import (abort_checkpoint, begin_checkpoint,
                                     commit_checkpoint, valid_checkpoint)
+from repro.core.engine import (ENGINE_CHUNK_BYTES, IngestLimiter,
+                               LocalCopyEngine, TransferEngine)
 from repro.core.index import ModelMeta, ModelTable
 from repro.core.modelmap import ModelMap
 from repro.dnn.tensor import TensorSpec
@@ -62,7 +64,7 @@ from repro.hw.node import CpuSet, StorageNode
 from repro.metrics import CostLedger
 from repro.net.tcp import TcpStack
 from repro.pmem.pool import PmemPool
-from repro.sim import AllOf, AnyOf, Environment
+from repro.sim import AnyOf, Environment
 from repro.units import usecs
 
 DEFAULT_PORT = 9900
@@ -74,14 +76,10 @@ PER_WQE_CPU_NS = usecs(0.3)
 #: incoming DMA; only the fence is serialized at the end).
 FLUSH_BARRIER_NS = usecs(10)
 #: QP send-queue depth: at most this many one-sided WRs in flight per
-#: operation (real RC QPs bound outstanding reads the same way).
+#: QP (real RC QPs bound outstanding reads the same way).  The transfer
+#: engine reads this at posting time, so the QP-depth ablation can sweep
+#: it per run.
 QP_DEPTH = 32
-
-
-def _windows(items, size):
-    """Slice *items* into posting windows of at most *size*."""
-    for start in range(0, len(items), size):
-        yield items[start:start + size]
 
 
 class ModelEntry:
@@ -89,7 +87,9 @@ class ModelEntry:
 
     def __init__(self, meta: ModelMeta) -> None:
         self.meta = meta
-        self.qp = None
+        #: The stripe set: every QP the client registered for this model
+        #: (``num_qps`` is negotiated at REGISTER time).
+        self.qps: List = []
         self.client_tensors: Optional[List[Dict]] = None
         self.version_mrs: List = [None, None]
         self.busy = False  # the compare-and-swap guard
@@ -99,8 +99,13 @@ class ModelEntry:
         self.inflight = None
 
     @property
+    def qp(self):
+        """The primary QP (compatibility view of the stripe set)."""
+        return self.qps[0] if self.qps else None
+
+    @property
     def attached(self) -> bool:
-        return self.qp is not None and self.client_tensors is not None
+        return bool(self.qps) and self.client_tensors is not None
 
 
 class PortusDaemon:
@@ -111,7 +116,8 @@ class PortusDaemon:
                  workers: int = 16,
                  request_timeout_ns: Optional[int] = None,
                  lease_ns: Optional[int] = None,
-                 reaper_interval_ns: Optional[int] = None) -> None:
+                 reaper_interval_ns: Optional[int] = None,
+                 engine: Optional[Dict] = None) -> None:
         if node.nic is None:
             raise PortusError(f"{node.name} has no RNIC")
         self.env = env
@@ -123,6 +129,23 @@ class PortusDaemon:
         self.request_timeout_ns = request_timeout_ns
         self.lease_ns = lease_ns
         self.reaper_interval_ns = reaper_interval_ns
+        # Datapath engine policy (see repro.core.engine): pipelined
+        # sliding-window posting with 4 MiB segmentation by default;
+        # ``pipelined=False`` restores the seed's barrier windows and
+        # ``max_pmem_streams`` bounds total in-flight pull WRs so the
+        # PMem ingest stays under the Optane congestion cliff.
+        engine_opts = dict(engine or {})
+        self.engine_pipelined = engine_opts.pop("pipelined", True)
+        self.engine_chunk_bytes = engine_opts.pop("chunk_bytes",
+                                                  ENGINE_CHUNK_BYTES)
+        self.engine_largest_first = engine_opts.pop("largest_first", True)
+        max_pmem_streams = engine_opts.pop("max_pmem_streams", None)
+        if engine_opts:
+            raise PortusError(
+                f"unknown engine options: {sorted(engine_opts)}")
+        self._pmem_streams = (
+            IngestLimiter(env, capacity=max_pmem_streams)
+            if max_pmem_streams is not None else None)
         self.model_map = ModelMap()
         self.table = self._open_or_create_table()
         self.ledger = CostLedger()
@@ -199,8 +222,9 @@ class PortusDaemon:
         if not self.pool.closed:
             self.pool.close()
         for _name, entry in self.model_map.items():
-            if entry.qp is not None:
-                entry.qp.transition_to_error("daemon crashed")
+            for qp in entry.qps:
+                if qp.error is None:
+                    qp.transition_to_error("daemon crashed")
             if entry.inflight is not None and entry.inflight.is_alive:
                 entry.inflight.interrupt("daemon crashed")
 
@@ -340,13 +364,15 @@ class PortusDaemon:
                 # no request timeout reaps in-flight work (last resort).
                 continue
             self.reaped_sessions += 1
-            qp = entry.qp
-            entry.qp = None
+            qps = entry.qps
+            entry.qps = []
             entry.client_tensors = None
             if entry.inflight is not None and entry.inflight.is_alive:
                 entry.inflight.interrupt(f"{name}: session lease expired")
-            if qp is not None:
-                qp.transition_to_error(f"{name}: session lease expired")
+            for qp in qps:
+                if qp.error is None:
+                    qp.transition_to_error(
+                        f"{name}: session lease expired")
 
     # -- entry helpers ----------------------------------------------------------------
 
@@ -374,7 +400,9 @@ class PortusDaemon:
     def _handle_register(self, message: Dict) -> Generator:
         name = message["model"]
         tensors = message["tensors"]
-        qp = message["qp"]
+        # Multi-QP REGISTER: the client may bring a whole stripe set; a
+        # legacy single-QP packet is a stripe set of one.
+        qps = message.get("qps") or [message["qp"]]
         specs = [
             TensorSpec(t["name"], tuple(t["shape"]),
                        DType.by_name(t["dtype"])) for t in tensors
@@ -394,11 +422,11 @@ class PortusDaemon:
             if entry.version_mrs[version] is None:
                 entry.version_mrs[version] = yield from \
                     self.node.nic.register_mr(entry.meta.data_region(version))
-        entry.qp = qp
+        entry.qps = list(qps)
         entry.client_tensors = tensors
         entry.last_seen_ns = self.env.now
         return protocol.reply(protocol.OP_REGISTERED, model=name,
-                              layers=len(tensors))
+                              layers=len(tensors), num_qps=len(entry.qps))
 
     def _validate_attach(self, entry: ModelEntry,
                          specs: List[TensorSpec]) -> None:
@@ -414,6 +442,24 @@ class PortusDaemon:
                     f"{index.model_name}: tensor {spec.name!r} does not "
                     f"match the persisted index entry {descriptor.name!r}")
 
+    # -- the datapath engine -------------------------------------------------------
+
+    def _engine(self, qps: List, ingest: bool) -> TransferEngine:
+        """One transfer engine per operation over the pinned stripe set.
+
+        ``QP_DEPTH`` is read here (not at daemon construction) so the
+        QP-depth ablation's per-run sweep still bites.  The PMem ingest
+        limiter only applies to pulls — restores read PMem, and Optane
+        reads do not congest.
+        """
+        return TransferEngine(
+            self.env, qps, depth=QP_DEPTH,
+            chunk_bytes=self.engine_chunk_bytes,
+            pipelined=self.engine_pipelined,
+            largest_first=self.engine_largest_first,
+            stream_limit=self._pmem_streams if ingest else None,
+            wqe_cost=lambda: self.workers.execute(PER_WQE_CPU_NS))
+
     # -- DO_CHECKPOINT --------------------------------------------------------------------
 
     def _handle_checkpoint(self, message: Dict) -> Generator:
@@ -424,15 +470,14 @@ class PortusDaemon:
         if not entry.attached:
             raise NotAttached(f"{name}: no attached client to pull from")
         self._claim(entry)
-        qp = entry.qp  # pin: a re-attach mid-pull must not redirect us
+        # Pin the stripe set: a re-attach mid-pull must not redirect us.
+        qps = list(entry.qps)
         started = self.env.now
         try:
             flags_before = entry.meta.read_flags()
             previous = flags_before.newest_done()
             target = begin_checkpoint(entry.meta)
             region_mr = entry.version_mrs[target]
-            yield from self.workers.execute(
-                PER_WQE_CPU_NS * entry.meta.mindex.layer_count)
             pairs = list(zip(entry.meta.mindex.descriptors,
                              entry.client_tensors))
             if dirty is not None and previous is not None:
@@ -441,28 +486,19 @@ class PortusDaemon:
                 pairs = [(d, c) for d, c in pairs if d.name in dirty_set]
                 yield from self._copy_clean_tensors(entry, previous,
                                                     target, clean)
+            # The engine charges PER_WQE_CPU_NS per WR actually posted —
+            # an incremental pull pays for its dirty subset (and its
+            # segmentation), not the whole layer count.
+            engine = self._engine(qps, ingest=True)
             try:
-                for window in _windows(pairs, QP_DEPTH):
-                    reads = [qp.read(
-                        region_mr, descriptor.offset, client["rkey"],
-                        client["addr"], descriptor.size,
-                        label=f"pull:{name}:{descriptor.name}")
-                        for descriptor, client in window]
-                    pending = AllOf(self.env, reads)
-                    try:
-                        yield pending
-                    except BaseException:
-                        # We may die here (WR fault, timeout interrupt,
-                        # lease reap, daemon crash) with reads still in
-                        # flight; mark the condition handled so a late
-                        # completion failure cannot crash the run.
-                        pending.defuse()
-                        raise
+                pulled = yield from engine.pull(region_mr, pairs,
+                                                f"pull:{name}")
             except ReproError:
-                # Flush before aborting: in-flight reads must not land
-                # their (now stale) bytes in a slot the next checkpoint
-                # may claim.
-                qp.flush()
+                # The engine aborted the stripe set (every QP flushed —
+                # in-flight reads must not land their now-stale bytes in
+                # a slot the next checkpoint may claim); abort() again
+                # is a no-op, kept for the non-engine error paths.
+                engine.abort()
                 if not self.pool.closed:
                     abort_checkpoint(entry.meta, target)
                 raise
@@ -480,27 +516,22 @@ class PortusDaemon:
         duration = self.env.now - started
         self.ledger.add("rdma_pull", duration)
         self.checkpoints_completed += 1
-        self.bytes_pulled += sum(descriptor.size
-                                 for descriptor, _client in pairs)
+        self.bytes_pulled += pulled
         return protocol.reply(protocol.OP_CHECKPOINT_DONE, model=name,
                               step=step, version=target,
-                              duration_ns=duration)
+                              duration_ns=duration, bytes_pulled=pulled)
 
     def _copy_clean_tensors(self, entry: ModelEntry, source: int,
                             target: int, descriptors) -> Generator:
         """Incremental mode: complete the new version by copying the
         unchanged tensors from the previous DONE version — a local
         PMem-to-PMem move, no network involved."""
-        from repro.sim import Transfer
-
         total = sum(d.size for d in descriptors)
         if total == 0:
             return
-        device = self.pool.device
-        transfer = Transfer(self.env,
-                            [device.read_channel, device.write_channel],
-                            total, label="incremental-local-copy")
-        yield transfer
+        copier = LocalCopyEngine(self.env, self.pool.device,
+                                 chunk_bytes=self.engine_chunk_bytes)
+        yield from copier.move(total, label="incremental-local-copy")
         source_region = entry.meta.data_region(source)
         target_region = entry.meta.data_region(target)
         for descriptor in descriptors:
@@ -516,33 +547,23 @@ class PortusDaemon:
         if not entry.attached:
             raise NotAttached(f"{name}: no attached client to push to")
         self._claim(entry)
-        qp = entry.qp
+        qps = list(entry.qps)
         started = self.env.now
         try:
             version, step = valid_checkpoint(entry.meta)
             region_mr = entry.version_mrs[version]
-            yield from self.workers.execute(
-                PER_WQE_CPU_NS * entry.meta.mindex.layer_count)
             pairs = list(zip(entry.meta.mindex.descriptors,
                              entry.client_tensors))
+            engine = self._engine(qps, ingest=False)
             try:
-                for window in _windows(pairs, QP_DEPTH):
-                    writes = [qp.write(
-                        region_mr, descriptor.offset, client["rkey"],
-                        client["addr"], descriptor.size,
-                        label=f"push:{name}:{descriptor.name}")
-                        for descriptor, client in window]
-                    pending = AllOf(self.env, writes)
-                    try:
-                        yield pending
-                    except BaseException:
-                        pending.defuse()
-                        raise
+                pushed = yield from engine.push(region_mr, pairs,
+                                                f"push:{name}")
             except ReproError:
-                # A restore mutates nothing on PMem; just retire the
-                # in-flight WRs so they cannot write stale bytes into
-                # the client after it re-attaches and retries.
-                qp.flush()
+                # A restore mutates nothing on PMem; the engine already
+                # retired the in-flight WRs on every QP of the stripe
+                # set so they cannot write stale bytes into the client
+                # after it re-attaches and retries.
+                engine.abort()
                 raise
             if self.pool.closed:
                 raise PortusError(f"{name}: server crashed during restore")
@@ -551,10 +572,10 @@ class PortusDaemon:
         duration = self.env.now - started
         self.ledger.add("rdma_push", duration)
         self.restores_completed += 1
-        self.bytes_pushed += entry.meta.mindex.total_bytes
+        self.bytes_pushed += pushed
         return protocol.reply(protocol.OP_RESTORE_DONE, model=name,
                               step=step, version=version,
-                              duration_ns=duration)
+                              duration_ns=duration, bytes_pushed=pushed)
 
     # -- UNREGISTER ------------------------------------------------------------------------
 

@@ -27,16 +27,23 @@ OP_ERROR = "ERROR"
 
 _BASE_SIZE = 96
 _PER_TENSOR_SIZE = 128  # name, dtype, shape, size, rkey, addr
+_PER_QP_SIZE = 16  # QP number + starting PSN per extra stripe lane
 
 
 def register(model_name: str, tensors: List[Dict[str, Any]],
              server_qp) -> Tuple[Dict[str, Any], int]:
-    """The model description packet: one entry per tensor, plus the QP the
-    daemon will pull through (standing in for the out-of-band QP number
-    exchange of the real system)."""
+    """The model description packet: one entry per tensor, plus the QP(s)
+    the daemon will pull through (standing in for the out-of-band QP
+    number exchange of the real system).  *server_qp* may be a single QP
+    or a list — the stripe set the client negotiated (``num_qps``); the
+    daemon stripes each transfer across all of them.
+    """
+    qps = list(server_qp) if isinstance(server_qp, (list, tuple)) \
+        else [server_qp]
     message = {"op": OP_REGISTER, "model": model_name, "tensors": tensors,
-               "qp": server_qp}
-    return message, _BASE_SIZE + _PER_TENSOR_SIZE * len(tensors)
+               "qp": qps[0], "qps": qps}
+    return message, (_BASE_SIZE + _PER_TENSOR_SIZE * len(tensors)
+                     + _PER_QP_SIZE * (len(qps) - 1))
 
 
 def do_checkpoint(model_name: str, step: int,

@@ -156,8 +156,9 @@ class FaultInjector:
         for session in list(client.sessions):
             if session.conn is not None and not session.conn.closed:
                 session.conn.drop()
-            if session.qp is not None and session.qp.error is None:
-                session.qp.transition_to_error("client process died")
+            for qp in session.qps:
+                if qp.error is None:
+                    qp.transition_to_error("client process died")
             for mr in session.mrs:
                 if mr.valid:
                     client.node.nic.deregister_mr(mr)

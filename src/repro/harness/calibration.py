@@ -45,6 +45,25 @@ GPT iteration time: Fig. 2 puts the 22.4 B model's checkpoint share at
 (Fig. 14) ⇒ ~1.78 s/iteration ⇒ 79.5 ms per billion parameters.  ViT's
 24.9 % at one checkpoint per 83 iterations ⇒ ~62 ms/iteration.
 
+**Datapath engine constants**
+
+The transfer engine (repro.core.engine) segments tensors at
+``ENGINE_CHUNK_BYTES`` = 4 MiB: large enough that per-WR overhead is
+negligible (a 4 MiB READ at the 5.8 GB/s BAR rate runs ~690 µs against
+~3 µs of post+latency, <0.5 %), small enough that a 1 GiB GPT shard
+becomes ~256 schedulable pieces — the same order of magnitude
+FastPersist and ByteCheckpoint use for parallel checkpoint I/O.
+
+``PMEM_INGEST_STREAMS`` = 4 is the Optane congestion threshold: each
+DIMM sustains ~2.8 GB/s of sequential writes but drops to ~2.0 GB/s
+once more concurrent streams interleave on the 256 B XPLine than its
+write-combining buffer can absorb (see repro.hw.devices.PmemDimm,
+threshold 4).  Capping daemon-wide in-flight pull WRs at 4 keeps the
+3-DIMM namespace at its uncongested 8.4 GB/s aggregate instead of the
+6.0 GB/s the 512-flow free-for-all measures — the entire headroom a
+scheduler can recover on the Fig. 14 dump, since 8.4/6.0 = 2.8/2.0 =
+1.4x is the media's own ratio.
+
 This module re-exports the constants from their owning modules so tests
 and docs have one authoritative view; change them there, not here.
 """
@@ -59,8 +78,14 @@ from repro.dnn.serialize import (DESERIALIZATION_BPS, PER_TENSOR_NS,
 from repro.fs.beegfs.client import STAGING_COPY_BPS
 from repro.fs.dax import DAX_COPY_BPS, DAX_READ_BPS
 from repro.fs.ext4 import BLOCK_REQUEST_BYTES, PAGE_CACHE_COPY_BPS
+from repro.core.engine import ENGINE_CHUNK_BYTES
 from repro.rdma.rpc import DEFAULT_CHUNK_BYTES, DEFAULT_CHUNK_CPU_NS
 from repro.units import SECOND, gbytes
+
+#: Daemon-wide cap on concurrent PMem-ingest WRs that keeps the Optane
+#: write channel below its congestion cliff (= PmemDimm's
+#: congestion_threshold; see the module docstring for the derivation).
+PMEM_INGEST_STREAMS = 4
 
 #: Fig. 10 anchors (see repro.hw.devices / repro.rdma.nic defaults).
 GPU_BAR_READ_BPS = gbytes(5.8)
@@ -125,6 +150,7 @@ __all__ = [
     "DEFAULT_CHUNK_BYTES",
     "DEFAULT_CHUNK_CPU_NS",
     "DESERIALIZATION_BPS",
+    "ENGINE_CHUNK_BYTES",
     "GPU_BAR_READ_BPS",
     "GPU_PCIE_WRITE_BPS",
     "NIC_DMA_READ_BPS",
@@ -132,6 +158,7 @@ __all__ = [
     "NVME_WRITE_BPS",
     "PAGE_CACHE_COPY_BPS",
     "PER_TENSOR_NS",
+    "PMEM_INGEST_STREAMS",
     "SERIALIZATION_BPS",
     "STAGING_COPY_BPS",
     "TABLE1_PAPER",

@@ -41,7 +41,7 @@ class PaperCluster:
     def __init__(self, seed: int = 0, ampere_nodes: int = 2,
                  start_daemon: bool = True,
                  daemon_kwargs: Optional[Dict] = None,
-                 client_retry=None) -> None:
+                 client_retry=None, client_num_qps: int = 1) -> None:
         env = Environment()
         self.env = env
         self.rand = RandomStreams(seed)
@@ -85,6 +85,7 @@ class PaperCluster:
                                            max_extents=65536)
         self._daemon_kwargs = dict(daemon_kwargs or {})
         self.client_retry = client_retry
+        self.client_num_qps = client_num_qps
         self.daemon = PortusDaemon(env, self.server, self.portus_pool,
                                    self.server_tcp, **self._daemon_kwargs)
         if start_daemon:
@@ -123,7 +124,8 @@ class PaperCluster:
         client = self._portus_clients.get(node.name)
         if client is None:
             client = PortusClient(self.env, node, self.tcp_of(node),
-                                  self.daemon, retry=self.client_retry)
+                                  self.daemon, retry=self.client_retry,
+                                  num_qps=self.client_num_qps)
             self._portus_clients[node.name] = client
         return client
 

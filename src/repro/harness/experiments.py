@@ -14,6 +14,7 @@ from repro.baselines.checkfreq import CheckFreqPolicy
 from repro.baselines.policies import SyncCheckpointPolicy
 from repro.baselines.torch_save import TorchSaveCheckpointer
 from repro.core.async_ckpt import PortusAsyncPolicy, PortusSyncPolicy
+from repro.core.engine import ENGINE_CHUNK_BYTES
 from repro.dnn.gpt import GPT_CONFIGS, GptConfig, shard_gpt
 from repro.dnn.models import build_model
 from repro.dnn.tensor import ModelInstance
@@ -352,6 +353,42 @@ def fig14_gpt_dump(configs: Optional[List[str]] = None) -> Dict:
     return results
 
 
+#: The seed's datapath, expressed as engine options: barrier windows of
+#: whole-tensor WRs posted in registration order on a single QP.
+ENGINE_SEED_DATAPATH = dict(pipelined=False, chunk_bytes=None,
+                            largest_first=False)
+#: Stripe width and ingest cap of the tuned datapath (see
+#: repro.harness.calibration.PMEM_INGEST_STREAMS for the cap's origin).
+ENGINE_STRIPED_QPS = 4
+ENGINE_STRIPED_OPTS = dict(max_pmem_streams=4)
+
+
+def engine_datapath_ablation(config_name: str = "gpt-22.4b") -> Dict:
+    """The Fig. 14 dump under the three datapaths (engine ablation).
+
+    * ``barrier`` — the seed: one QP, whole-tensor WRs, full barrier
+      between QP_DEPTH-sized windows;
+    * ``sliding`` — the engine's default: one QP, 4 MiB segmentation,
+      largest-first, credit-based sliding window;
+    * ``striped`` — 4 QPs per model plus the daemon-wide PMem ingest
+      limiter, which keeps the concurrent-checkpoint dump under the
+      Optane congestion cliff (the entire recoverable headroom:
+      8.4/6.0 = 1.40x; see DESIGN.md §7).
+    """
+    config = GPT_CONFIGS[config_name]
+    barrier_ns, total_bytes = _gpt_portus_dump(
+        config, daemon_kwargs={"engine": dict(ENGINE_SEED_DATAPATH)})
+    sliding_ns, _ = _gpt_portus_dump(config)
+    striped_ns, _ = _gpt_portus_dump(
+        config, daemon_kwargs={"engine": dict(ENGINE_STRIPED_OPTS)},
+        num_qps=ENGINE_STRIPED_QPS)
+    return {"config": config_name, "bytes": total_bytes,
+            "chunk_bytes": ENGINE_CHUNK_BYTES,
+            "striped_qps": ENGINE_STRIPED_QPS,
+            "barrier_ns": barrier_ns, "sliding_ns": sliding_ns,
+            "striped_ns": striped_ns}
+
+
 def _gpt_torch_save_dump(config: GptConfig) -> int:
     """Megatron save_checkpoint: ranks write their shard files to the
     shared filesystem in rank order (serialized, as Megatron's
@@ -380,9 +417,17 @@ def _gpt_torch_save_dump(config: GptConfig) -> int:
     return holder["elapsed"]
 
 
-def _gpt_portus_dump(config: GptConfig) -> Tuple[int, int]:
-    """All 16 shards checkpoint concurrently through the daemon."""
-    cluster = PaperCluster(seed=108)
+def _gpt_portus_dump(config: GptConfig,
+                     daemon_kwargs: Optional[Dict] = None,
+                     num_qps: int = 1) -> Tuple[int, int]:
+    """All 16 shards checkpoint concurrently through the daemon.
+
+    *daemon_kwargs* / *num_qps* parameterize the datapath (engine policy
+    and stripe width) for the engine-ablation benchmarks; the defaults
+    are the paper-faithful configuration.
+    """
+    cluster = PaperCluster(seed=108, daemon_kwargs=daemon_kwargs,
+                           client_num_qps=num_qps)
     holder = {}
 
     def scenario(env):

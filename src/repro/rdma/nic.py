@@ -63,7 +63,34 @@ class Rnic:
         #: exception instance (the WR completes with that error), or the
         #: string ``"hang"`` (the WR never completes — a wedged QP).
         self.fault_hook = None
+        #: Per-WR accounting (one-sided verbs posted through this NIC's
+        #: QPs).  The transfer engine's credit flow rides the completion
+        #: events; these counters are the observable trace of it, and
+        #: ``wrs_inflight`` is what a test asserts against a QP depth.
+        self.wrs_posted = 0
+        self.wrs_completed = 0
+        self.wrs_failed = 0
+        #: Optional completion callback ``hook(kind, label, length, ok)``
+        #: fired as each one-sided WR retires (CQ polling stand-in).
+        self.completion_hook = None
         node.nic = self
+
+    @property
+    def wrs_inflight(self) -> int:
+        """One-sided WRs posted but not yet retired."""
+        return self.wrs_posted - self.wrs_completed - self.wrs_failed
+
+    def _wr_posted(self) -> None:
+        self.wrs_posted += 1
+
+    def _wr_retired(self, kind: str, label: str, length: int,
+                    ok: bool) -> None:
+        if ok:
+            self.wrs_completed += 1
+        else:
+            self.wrs_failed += 1
+        if self.completion_hook is not None:
+            self.completion_hook(kind, label, length, ok)
 
     # -- memory registration -----------------------------------------------------
 

@@ -132,6 +132,7 @@ class QueuePair:
                    remote_addr: int, length: int,
                    label: str) -> Generator:
         posted_epoch = self.epoch
+        self.nic._wr_posted()
         try:
             hook = self.nic.fault_hook
             if hook is not None:
@@ -188,8 +189,10 @@ class QueuePair:
                     length, note=f"{label}: source mutated mid-flight")
             dst_mr.allocation.write(dst_off, content)
         except BaseException as exc:  # noqa: BLE001 - surfaced via the event
+            self.nic._wr_retired(kind, label, length, ok=False)
             completion.fail(exc)
             return
+        self.nic._wr_retired(kind, label, length, ok=True)
         completion.succeed(length)
 
     def _hang(self, label: str) -> Generator:

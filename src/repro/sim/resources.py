@@ -174,7 +174,9 @@ class SharedChannel:
         self.congested_capacity_bps = congested_capacity_bps
         self.congestion_threshold = congestion_threshold
         self.name = name
-        self.flows: Set["Transfer"] = set()
+        # Insertion-ordered (dict-as-set): iteration order must not depend
+        # on object ids or replay determinism breaks across processes.
+        self.flows: Dict["Transfer", None] = {}
         self.bytes_carried = 0
 
     def capacity_for(self, flow_count: int) -> float:
@@ -249,7 +251,11 @@ class _FluidScheduler:
 
     def __init__(self, env: Environment) -> None:
         self.env = env
-        self.active: Set[Transfer] = set()
+        # Dict-as-ordered-set: with equal-rate flows (a striped stripe set)
+        # several transfers finish in the same tick, and the order their
+        # completions fire — and the float order rates are subtracted in —
+        # must follow admission order, not id()-dependent set order.
+        self.active: Dict[Transfer, None] = {}
         self._last_update = env.now
         self._wakeup: Optional[Event] = None
         self._wakeup_gen = 0
@@ -262,9 +268,9 @@ class _FluidScheduler:
             transfer.succeed(transfer)
             return
         self._advance()
-        self.active.add(transfer)
+        self.active[transfer] = None
         for channel in transfer.channels:
-            channel.flows.add(transfer)
+            channel.flows[transfer] = None
         self._reallocate()
 
     # -- internals -------------------------------------------------------------
@@ -286,9 +292,9 @@ class _FluidScheduler:
                 flow.remaining = 0.0
                 finished.append(flow)
         for flow in finished:
-            self.active.discard(flow)
+            self.active.pop(flow, None)
             for channel in flow.channels:
-                channel.flows.discard(flow)
+                channel.flows.pop(flow, None)
             flow.finished_at = now
             flow.succeed(flow)
 
@@ -315,13 +321,13 @@ class _FluidScheduler:
 
     def _assign_rates(self) -> None:
         """Progressive-filling max-min allocation across all channels."""
-        unfrozen: Set[Transfer] = set(self.active)
+        unfrozen: Dict[Transfer, None] = dict.fromkeys(self.active)
         remaining_cap: Dict[SharedChannel, float] = {}
-        channel_flows: Dict[SharedChannel, Set[Transfer]] = {}
+        channel_flows: Dict[SharedChannel, Dict[Transfer, None]] = {}
         for flow in self.active:
             flow.rate_bps = 0.0
             for channel in flow.channels:
-                channel_flows.setdefault(channel, set()).add(flow)
+                channel_flows.setdefault(channel, {})[flow] = None
         for channel, flows in channel_flows.items():
             remaining_cap[channel] = channel.capacity_for(len(flows))
 
@@ -330,7 +336,7 @@ class _FluidScheduler:
             # considering both channel shares and per-flow caps.
             share = math.inf
             for channel, flows in channel_flows.items():
-                live = flows & unfrozen
+                live = [f for f in flows if f in unfrozen]
                 if live:
                     share = min(share, remaining_cap[channel] / len(live))
             capped = [f for f in unfrozen if f.rate_cap_bps is not None]
@@ -338,18 +344,19 @@ class _FluidScheduler:
             if cap_limit < share:
                 # Freeze every flow whose own cap binds first.
                 level = cap_limit
-                frozen = {f for f in capped if f.rate_cap_bps <= level}
+                frozen = dict.fromkeys(
+                    f for f in capped if f.rate_cap_bps <= level)
             else:
                 level = share
-                frozen = set()
+                frozen = {}
                 for channel, flows in channel_flows.items():
-                    live = flows & unfrozen
+                    live = [f for f in flows if f in unfrozen]
                     if live and remaining_cap[channel] / len(live) <= level + 1e-9:
-                        frozen |= live
+                        frozen.update(dict.fromkeys(live))
             if not frozen or level is math.inf:
                 # No binding constraint (should not happen: every flow
                 # crosses at least one channel), freeze everything at share.
-                frozen = set(unfrozen)
+                frozen = dict.fromkeys(unfrozen)
                 level = share
             for flow in frozen:
                 rate = level if flow.rate_cap_bps is None else min(
@@ -358,7 +365,8 @@ class _FluidScheduler:
                 for channel in flow.channels:
                     remaining_cap[channel] -= flow.rate_bps
                     remaining_cap[channel] = max(remaining_cap[channel], 0.0)
-            unfrozen -= frozen
+            for flow in frozen:
+                unfrozen.pop(flow, None)
 
 
 def _fluid_scheduler(env: Environment) -> _FluidScheduler:

@@ -33,7 +33,7 @@ from repro.dnn.tensor import ModelInstance, TensorSpec
 from repro.errors import NoValidCheckpoint, ReproError
 from repro.faults import FaultInjector, FaultPlan
 from repro.harness.cluster import PaperCluster
-from repro.units import msecs, usecs
+from repro.units import kib, msecs, usecs
 
 pytestmark = pytest.mark.chaos
 
@@ -46,6 +46,11 @@ SPECS = [TensorSpec("block.weight", (512, 256)),
          TensorSpec("head.weight", (16, 512))]
 STEPS = 6
 HORIZON_NS = msecs(4)
+#: The multi-QP sweeps: 64 KiB segmentation splits block.weight
+#: (512 KiB) into 8 WRs striped over 4 lanes, with the daemon-wide
+#: PMem ingest limiter engaged — every engine mechanism under fault.
+STRIPED_QPS = 4
+STRIPED_ENGINE = dict(chunk_bytes=kib(64), max_pmem_streams=4)
 
 
 def _trace(line):
@@ -54,18 +59,21 @@ def _trace(line):
             fh.write(line + "\n")
 
 
-def run_chaos_schedule(seed, events=5):
+def run_chaos_schedule(seed, events=5, num_qps=1, engine=None):
     """One full chaos episode; returns (acked, restored_step)."""
     policy = RetryPolicy(rng=random.Random(seed ^ 0x5EED),
                          max_attempts=64,
                          deadline_ns=msecs(500),
                          reply_timeout_ns=msecs(10))
+    daemon_kwargs = dict(request_timeout_ns=msecs(20),
+                         lease_ns=msecs(5),
+                         reaper_interval_ns=msecs(1))
+    if engine is not None:
+        daemon_kwargs["engine"] = dict(engine)
     cluster = PaperCluster(
         seed=seed, ampere_nodes=0,
-        daemon_kwargs=dict(request_timeout_ns=msecs(20),
-                           lease_ns=msecs(5),
-                           reaper_interval_ns=msecs(1)),
-        client_retry=policy)
+        daemon_kwargs=daemon_kwargs,
+        client_retry=policy, client_num_qps=num_qps)
 
     def setup(env):
         instance = ModelInstance.materialize("model", SPECS,
@@ -164,6 +172,31 @@ def test_chaos_schedules_preserve_crash_consistency():
 def test_chaos_schedule_is_deterministic():
     first = run_chaos_schedule(BASE_SEED + 1_000_003)
     second = run_chaos_schedule(BASE_SEED + 1_000_003)
+    assert first == second
+
+
+def test_chaos_multi_qp_striped_engine_preserves_crash_consistency():
+    """Satellite: randomized fault schedules over multi-QP, segmented,
+    ingest-limited checkpoints still recover to exactly one newest DONE
+    version, bit-exact (the full contract in run_chaos_schedule)."""
+    outcomes = {"restored": 0, "acked_some": 0}
+    for index in range(max(EXAMPLES // 4, 10)):
+        acked, restored = run_chaos_schedule(
+            BASE_SEED + 7_000_000 + index,
+            num_qps=STRIPED_QPS, engine=STRIPED_ENGINE)
+        if restored is not None:
+            outcomes["restored"] += 1
+        if acked:
+            outcomes["acked_some"] += 1
+    assert outcomes["restored"] > 0
+    assert outcomes["acked_some"] > 0
+
+
+def test_chaos_multi_qp_schedule_is_deterministic():
+    first = run_chaos_schedule(BASE_SEED + 2_000_003,
+                               num_qps=STRIPED_QPS, engine=STRIPED_ENGINE)
+    second = run_chaos_schedule(BASE_SEED + 2_000_003,
+                                num_qps=STRIPED_QPS, engine=STRIPED_ENGINE)
     assert first == second
 
 
