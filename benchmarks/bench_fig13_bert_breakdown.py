@@ -7,8 +7,12 @@ devices through kernel crossings; and Portus's one-sided transport beats
 BeeGFS's two-sided RPCoRDMA.
 """
 
-from repro.harness.experiments import fig13_bert_breakdown
-from repro.harness.report import render_breakdown
+import json
+import os
+
+from repro.harness.experiments import (fig13_bert_breakdown,
+                                       fig13_portus_traced)
+from repro.harness.report import render_breakdown, render_metrics
 from repro.units import fmt_time
 
 from conftest import run_once
@@ -40,3 +44,44 @@ def test_fig13_bert_breakdown(benchmark, shared_results):
     # ext4 spends roughly half its time in block-device kernel crossings
     # (paper: 53.7%).
     assert abs(result["ext4_nvme"]["block_io_kernel"] - 0.537) < 0.13
+
+
+def test_fig13_portus_traced_breakdown(benchmark, shared_results,
+                                       trace_out_dir):
+    """The same Portus checkpoint, phase-resolved from the span tree.
+
+    fig13_portus_traced() itself asserts the zero-cost contract (traced
+    and untraced runs are bit-identical in simulated time); here we
+    check the span-derived phases reproduce the paper's story — the
+    RDMA pull *is* the checkpoint — and that the exported Chrome trace
+    is valid, loadable JSON.
+    """
+    result = run_once(benchmark, "fig13_traced", fig13_portus_traced,
+                      shared_results)
+    print(render_breakdown(
+        f"Fig. 13 (traced): Portus BERT checkpoint phases "
+        f"(total {fmt_time(result['total_ns'])})", result["shares"]))
+    print(render_metrics("Portus deployment metrics",
+                         result["metrics"]))
+
+    assert result["bit_identical"]
+    # The pull dominates; every phase accounted, nothing negative.
+    assert result["shares"]["rdma_pull"] > 0.95
+    assert all(share >= 0 for share in result["shares"].values())
+    assert abs(sum(result["shares"].values()) - 1.0) < 1e-9
+    # The trace is valid Chrome trace_event JSON with span + metadata
+    # events for every layer of the path.
+    trace = json.loads(result["chrome_trace_json"])
+    events = trace["traceEvents"]
+    names = {e["name"] for e in events}
+    assert {"client.DO_CHECKPOINT", "daemon.DO_CHECKPOINT",
+            "engine.read", "wr.read"} <= names
+    assert all({"ph", "pid", "tid", "name"} <= set(e) for e in events)
+    # Metrics made it into the result for report merging.
+    assert result["metrics"]["daemon.checkpoints_completed"]["value"] == 1
+    assert result["metrics"]["daemon.checkpoint_latency_ns"]["count"] == 1
+    if trace_out_dir is not None:
+        path = os.path.join(trace_out_dir, "fig13_portus.json")
+        with open(path, "w") as handle:
+            handle.write(result["chrome_trace_json"])
+        print(f"chrome trace written to {path}")

@@ -60,6 +60,52 @@ def test_smoke_fig9_timeline():
     assert result
 
 
+def test_smoke_traced_run_emits_valid_chrome_trace(tmp_path):
+    """A traced benchmark run produces loadable Chrome trace JSON and a
+    metrics snapshot, and tracing costs zero simulated time."""
+    import json
+
+    def run(tracing):
+        cluster = PaperCluster(seed=97, ampere_nodes=0, tracing=tracing)
+        holder = {}
+
+        def scenario(env):
+            session = yield from cluster.portus_register("alexnet")
+            session.model.update_step(1)
+            yield from session.checkpoint(1)
+            yield from session.restore()
+            holder["end"] = env.now
+
+        cluster.run(scenario)
+        return cluster, holder["end"]
+
+    _plain, end_plain = run(False)
+    traced, end_traced = run(True)
+    assert end_plain == end_traced  # zero-cost contract
+
+    trace_path = tmp_path / "smoke-trace.json"
+    traced.obs.tracer.write(str(trace_path))
+    trace = json.loads(trace_path.read_text())
+    events = trace["traceEvents"]
+    assert events
+    phases = {e["ph"] for e in events}
+    assert phases <= {"X", "M"} and "X" in phases and "M" in phases
+    for event in events:
+        assert {"ph", "name", "pid", "tid"} <= set(event)
+        if event["ph"] == "X":
+            assert event["dur"] >= 0 and event["ts"] >= 0
+    names = {e["name"] for e in events}
+    assert {"client.DO_CHECKPOINT", "client.DO_RESTORE",
+            "daemon.DO_CHECKPOINT", "daemon.DO_RESTORE",
+            "engine.read", "engine.write"} <= names
+
+    metrics_path = tmp_path / "smoke-metrics.json"
+    traced.obs.metrics.write(str(metrics_path))
+    snapshot = json.loads(metrics_path.read_text())
+    assert snapshot["daemon.checkpoints_completed"]["value"] == 1
+    assert snapshot["daemon.restores_completed"]["value"] == 1
+
+
 def test_smoke_fault_recovery():
     policy = RetryPolicy(max_attempts=64, initial_backoff_ns=usecs(200),
                          max_backoff_ns=msecs(20), deadline_ns=secs(10),

@@ -5,11 +5,32 @@ with a single round — repeating a deterministic run only wastes wall
 time), prints the paper-style rows, and asserts the reproduction bands
 from EXPERIMENTS.md.  Expensive experiments are cached so sibling benches
 (Fig. 11/12 share one run; Fig. 15/16 share one run) reuse results.
+
+``--trace-out DIR`` makes tracing-aware benches (the Fig. 13 breakdown)
+write their Chrome ``trace_event`` JSON there, one file per bench,
+loadable in chrome://tracing or Perfetto.
 """
+
+import os
 
 import pytest
 
 _RESULTS = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out", action="store", default=None, metavar="DIR",
+        help="directory for Chrome trace JSON from tracing-aware benches")
+
+
+@pytest.fixture(scope="session")
+def trace_out_dir(request):
+    """The --trace-out directory (created), or None when not requested."""
+    path = request.config.getoption("--trace-out")
+    if path is not None:
+        os.makedirs(path, exist_ok=True)
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# The single CI gate.  Runs, in order:
+#
+#   1. tier-1: the full unit/integration suite (tests/), including the
+#      chaos sweeps at their default 200 schedules;
+#   2. bench smoke: every benchmark datapath, tiniest config, one
+#      iteration (scripts/bench_smoke.sh);
+#   3. trace smoke: a traced benchmark run must emit loadable Chrome
+#      trace_event JSON + a metrics snapshot at zero simulated-time
+#      cost (the observability layer's contract);
+#   4. determinism: identical chaos schedules twice, traces diffed
+#      (scripts/check_determinism.sh).
+#
+# Usage: scripts/ci.sh            # the whole gate
+#        CI_FAST=1 scripts/ci.sh  # trimmed chaos sweeps for quick loops
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${CI_FAST:-0}" != "0" ]]; then
+    export PORTUS_CHAOS_EXAMPLES="${PORTUS_CHAOS_EXAMPLES:-20}"
+    export PORTUS_TORN_EXAMPLES="${PORTUS_TORN_EXAMPLES:-20}"
+fi
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "tier-1 test suite"
+PYTHONPATH=src python -m pytest -x -q
+
+step "benchmark smoke"
+scripts/bench_smoke.sh
+
+step "traced-run smoke (Chrome trace + metrics, zero-cost)"
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+PYTHONPATH=src python -m pytest \
+    "benchmarks/bench_smoke.py::test_smoke_traced_run_emits_valid_chrome_trace" \
+    "benchmarks/bench_fig13_bert_breakdown.py::test_fig13_portus_traced_breakdown" \
+    --trace-out "$TRACE_DIR" -q
+python - "$TRACE_DIR/fig13_portus.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as handle:
+    trace = json.load(handle)
+events = trace["traceEvents"]
+assert events, "empty trace"
+assert all("ph" in e and "name" in e for e in events), "malformed event"
+print(f"OK: {sys.argv[1]} loads as Chrome trace JSON "
+      f"({len(events)} events)")
+EOF
+
+step "chaos determinism"
+scripts/check_determinism.sh "${PORTUS_CHAOS_EXAMPLES:-40}"
+
+printf '\nCI gate passed.\n'

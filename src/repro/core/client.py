@@ -37,6 +37,7 @@ from repro.errors import (PortusError, ProtocolError, ReproError,
                           RequestTimeout)
 from repro.hw.node import Node
 from repro.net.tcp import TcpStack
+from repro.obs import Observability
 from repro.rdma.verbs import connect
 from repro.sim import AnyOf, Environment
 
@@ -164,31 +165,58 @@ class ModelSession:
 
     def _call(self, make_message: MessageFactory,
               expected_op: str) -> Generator:
-        """Process: one request with the session's retry policy applied."""
+        """Process: one request with the session's retry policy applied.
+
+        Every call gets a fresh trace id (the root of the request's span
+        tree) stamped onto each attempt's message, so daemon and engine
+        child spans across retries group under one trace.
+        """
         policy = self.retry
-        if policy is None:
-            message, size = make_message()
-            reply = yield from self._rpc(message, size)
-            self._check(reply, expected_op)
-            return reply
         env = self.client.env
+        obs = self.client.obs
+        trace_id = obs.tracer.new_trace()
         start = env.now
+        track = f"client/{self.model.name}"
+        probe, _ = make_message()
+        op = probe.get("op")
+        obs.metrics.counter(f"client.requests.{op}").inc()
+        span = obs.tracer.span(env, f"client.{op}", cat="client",
+                               trace_id=trace_id, track=track)
         attempt = 0
-        while True:
-            try:
-                yield from self._ensure_attached()
+        failed = True
+        try:
+            if policy is None:
                 message, size = make_message()
+                protocol.stamp_trace(message, trace_id)
                 reply = yield from self._rpc(message, size)
                 self._check(reply, expected_op)
+                failed = False
                 return reply
-            except RETRYABLE_FAULTS as exc:
-                attempt += 1
-                self.retries += 1
-                if policy.is_transport_fault(exc):
-                    self._teardown_transport()
-                if policy.exhausted(attempt, env.now - start):
-                    raise
-                yield env.timeout(policy.backoff_ns(attempt))
+            while True:
+                try:
+                    yield from self._ensure_attached()
+                    message, size = make_message()
+                    protocol.stamp_trace(message, trace_id)
+                    reply = yield from self._rpc(message, size)
+                    self._check(reply, expected_op)
+                    failed = False
+                    return reply
+                except RETRYABLE_FAULTS as exc:
+                    attempt += 1
+                    self.retries += 1
+                    obs.metrics.counter("client.retries").inc()
+                    obs.metrics.counter(
+                        f"client.faults_absorbed.{type(exc).__name__}").inc()
+                    if policy.is_transport_fault(exc):
+                        self._teardown_transport()
+                    if policy.exhausted(attempt, env.now - start):
+                        raise
+                    yield env.timeout(policy.backoff_ns(attempt))
+        finally:
+            span.finish(error=failed, attempts=attempt + 1)
+            if not failed:
+                obs.metrics.histogram(
+                    f"client.e2e.{op}_ns").record(env.now - start)
 
     # -- transport lifecycle ------------------------------------------------------
 
@@ -227,23 +255,27 @@ class ModelSession:
         (registered once per job) are reused as-is.
         """
         client = self.client
-        client_qps = []
-        server_qps = []
-        for _lane in range(self.num_qps):
-            client_qp, server_qp = yield from connect(
-                client.env, client.node.nic, client.daemon.node.nic)
-            client_qps.append(client_qp)
-            server_qps.append(server_qp)
-        conn = yield from client.tcp.connect(client.daemon.tcp.hostname,
-                                             client.daemon.port)
-        self.conn = conn
-        self.qps = client_qps
-        self._pending.clear()
-        message, size = protocol.register(self.model.name,
-                                          self.tensor_infos, server_qps)
-        reply = yield from self._rpc(message, size)
-        self._check(reply, protocol.OP_REGISTERED)
+        obs = client.obs
+        with obs.tracer.span(client.env, "client.reattach", cat="client",
+                             track=f"client/{self.model.name}"):
+            client_qps = []
+            server_qps = []
+            for _lane in range(self.num_qps):
+                client_qp, server_qp = yield from connect(
+                    client.env, client.node.nic, client.daemon.node.nic)
+                client_qps.append(client_qp)
+                server_qps.append(server_qp)
+            conn = yield from client.tcp.connect(client.daemon.tcp.hostname,
+                                                 client.daemon.port)
+            self.conn = conn
+            self.qps = client_qps
+            self._pending.clear()
+            message, size = protocol.register(self.model.name,
+                                              self.tensor_infos, server_qps)
+            reply = yield from self._rpc(message, size)
+            self._check(reply, protocol.OP_REGISTERED)
         self.reattaches += 1
+        obs.metrics.counter("client.reattaches").inc()
 
     # -- operations ---------------------------------------------------------------
 
@@ -323,7 +355,8 @@ class PortusClient:
     def __init__(self, env: Environment, node: Node, tcp: TcpStack,
                  daemon: PortusDaemon,
                  retry: Optional[RetryPolicy] = None,
-                 num_qps: int = 1) -> None:
+                 num_qps: int = 1,
+                 obs: Optional[Observability] = None) -> None:
         if node.nic is None:
             raise PortusError(f"{node.name} has no RNIC")
         self.env = env
@@ -332,6 +365,9 @@ class PortusClient:
         self.daemon = daemon
         self.retry = retry
         self.num_qps = num_qps
+        # Share the daemon's bundle by default so one registry/trace
+        # covers the whole deployment end to end.
+        self.obs = obs if obs is not None else daemon.obs
         self.sessions: List[ModelSession] = []
 
     def register(self, model: ModelInstance) -> Generator:

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.core.index import (FLAG_ACTIVE, FLAG_DONE, ModelMeta,
-                              VersionFlags)
+from repro.core.index import (FLAG_ACTIVE, FLAG_DONE, FLAG_EMPTY,
+                              ModelMeta, VersionFlags)
 from repro.errors import CheckpointInProgress, NoValidCheckpoint
 
 
@@ -45,12 +45,26 @@ def commit_checkpoint(meta: ModelMeta, version: int, step: int) -> None:
     meta.write_flags(flags)
 
 
-def abort_checkpoint(meta: ModelMeta, version: int) -> None:
-    """Roll the target slot back after a failed pull (client vanished)."""
+def abort_checkpoint(meta: ModelMeta, version: int,
+                     data_dirty: bool = False) -> None:
+    """Roll the target slot back after a failed pull (client vanished).
+
+    *data_dirty* says whether any bytes already landed in the slot's
+    TensorData region (an engine pull, or the incremental path's
+    clean-tensor prefill).  A dirty slot can no longer be trusted at its
+    old step — part of its bytes belong to the aborted checkpoint — so
+    it is invalidated (EMPTY, step 0) rather than rolled back to DONE;
+    the sibling slot's last DONE version keeps the model restorable.
+    Only an untouched slot may return to DONE at its old step.
+    """
     flags = meta.read_flags()
     if flags.states[version] == FLAG_ACTIVE:
-        flags.states[version] = (FLAG_DONE if flags.steps[version] > 0
-                                 else 0)
+        if data_dirty:
+            flags.states[version] = FLAG_EMPTY
+            flags.steps[version] = 0
+        else:
+            flags.states[version] = (FLAG_DONE if flags.steps[version] > 0
+                                     else FLAG_EMPTY)
         meta.write_flags(flags)
 
 

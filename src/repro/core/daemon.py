@@ -45,6 +45,8 @@ the non-hardened daemon.
 
 from __future__ import annotations
 
+import logging
+
 from typing import Dict, Generator, List, Optional
 
 from repro.core import protocol
@@ -62,6 +64,7 @@ from repro.errors import (CheckpointInProgress, ConnectionClosed,
                           RequestTimeout)
 from repro.hw.node import CpuSet, StorageNode
 from repro.metrics import CostLedger
+from repro.obs import Observability
 from repro.net.tcp import TcpStack
 from repro.pmem.pool import PmemPool
 from repro.sim import AnyOf, Environment
@@ -117,7 +120,9 @@ class PortusDaemon:
                  request_timeout_ns: Optional[int] = None,
                  lease_ns: Optional[int] = None,
                  reaper_interval_ns: Optional[int] = None,
-                 engine: Optional[Dict] = None) -> None:
+                 engine: Optional[Dict] = None,
+                 obs: Optional[Observability] = None,
+                 slow_request_ns: Optional[int] = None) -> None:
         if node.nic is None:
             raise PortusError(f"{node.name} has no RNIC")
         self.env = env
@@ -143,8 +148,15 @@ class PortusDaemon:
         if engine_opts:
             raise PortusError(
                 f"unknown engine options: {sorted(engine_opts)}")
+        self.obs = obs if obs is not None else Observability()
+        #: Requests slower than this (simulated ns) are logged and kept
+        #: in :attr:`slow_requests`; None disables the check.
+        self.slow_request_ns = slow_request_ns
+        self.slow_requests: List[Dict] = []
+        self._log = logging.getLogger("repro.portus.daemon")
         self._pmem_streams = (
-            IngestLimiter(env, capacity=max_pmem_streams)
+            IngestLimiter(env, capacity=max_pmem_streams,
+                          metrics=self.obs.metrics)
             if max_pmem_streams is not None else None)
         self.model_map = ModelMap()
         self.table = self._open_or_create_table()
@@ -264,6 +276,13 @@ class PortusDaemon:
             protocol.OP_HEARTBEAT: self._handle_heartbeat,
         }
         handler = handlers.get(op)
+        trace_id = protocol.trace_of(message)
+        span = self.obs.tracer.span(self.env, f"daemon.{op}", cat="rpc",
+                                    trace_id=trace_id, track="daemon",
+                                    model=message.get("model"))
+        self.obs.metrics.counter(f"daemon.requests.{op}").inc()
+        started = self.env.now
+        failed = False
         try:
             if handler is None:
                 raise ProtocolError(f"unknown op {op!r}")
@@ -279,7 +298,12 @@ class PortusDaemon:
             # reaper to trip over before the client's next request.
             self._touch_lease(message)
         except ReproError as exc:
+            failed = True
+            self.obs.metrics.counter(f"daemon.errors.{op}").inc()
             reply, size = protocol.error_reply(exc)
+        span.finish(error=failed)
+        self._note_slow(op, message, started, failed)
+        protocol.stamp_trace(reply, trace_id)
         if rid is not None:
             reply["rid"] = rid
         try:
@@ -288,6 +312,24 @@ class PortusDaemon:
             # The client died or the connection dropped mid-reply; the
             # work is done (or aborted) either way — drop the reply.
             self.dropped_replies += 1
+
+    def _note_slow(self, op: str, message: Dict, started: int,
+                   failed: bool) -> None:
+        """Record (and log) any request over the slow threshold."""
+        if self.slow_request_ns is None:
+            return
+        duration = self.env.now - started
+        if duration <= self.slow_request_ns:
+            return
+        record = {"op": op, "model": message.get("model"),
+                  "started_ns": started, "duration_ns": duration,
+                  "error": failed}
+        self.slow_requests.append(record)
+        self.obs.metrics.counter("daemon.slow_requests").inc()
+        self._log.warning(
+            "slow request: %s model=%s took %d ns (threshold %d ns)%s",
+            op, message.get("model"), duration, self.slow_request_ns,
+            " [failed]" if failed else "")
 
     def _run_with_timeout(self, op: str, handler, message: Dict) -> Generator:
         """Process: run *handler* but bound its wall time.
@@ -444,7 +486,8 @@ class PortusDaemon:
 
     # -- the datapath engine -------------------------------------------------------
 
-    def _engine(self, qps: List, ingest: bool) -> TransferEngine:
+    def _engine(self, qps: List, ingest: bool,
+                trace_id: Optional[int] = None) -> TransferEngine:
         """One transfer engine per operation over the pinned stripe set.
 
         ``QP_DEPTH`` is read here (not at daemon construction) so the
@@ -458,7 +501,8 @@ class PortusDaemon:
             pipelined=self.engine_pipelined,
             largest_first=self.engine_largest_first,
             stream_limit=self._pmem_streams if ingest else None,
-            wqe_cost=lambda: self.workers.execute(PER_WQE_CPU_NS))
+            wqe_cost=lambda: self.workers.execute(PER_WQE_CPU_NS),
+            obs=self.obs, trace_id=trace_id)
 
     # -- DO_CHECKPOINT --------------------------------------------------------------------
 
@@ -472,24 +516,33 @@ class PortusDaemon:
         self._claim(entry)
         # Pin the stripe set: a re-attach mid-pull must not redirect us.
         qps = list(entry.qps)
+        trace_id = protocol.trace_of(message)
         started = self.env.now
         try:
             flags_before = entry.meta.read_flags()
             previous = flags_before.newest_done()
-            target = begin_checkpoint(entry.meta)
+            with self.obs.tracer.span(self.env, "ckpt.begin", cat="ckpt",
+                                      trace_id=trace_id, track="daemon",
+                                      model=name):
+                target = begin_checkpoint(entry.meta)
             region_mr = entry.version_mrs[target]
             pairs = list(zip(entry.meta.mindex.descriptors,
                              entry.client_tensors))
+            prefilled = 0
             if dirty is not None and previous is not None:
                 dirty_set = set(dirty)
                 clean = [d for d, _c in pairs if d.name not in dirty_set]
                 pairs = [(d, c) for d, c in pairs if d.name in dirty_set]
-                yield from self._copy_clean_tensors(entry, previous,
-                                                    target, clean)
+                with self.obs.tracer.span(self.env, "ckpt.local_copy",
+                                          cat="ckpt", trace_id=trace_id,
+                                          track="daemon", model=name,
+                                          tensors=len(clean)):
+                    prefilled = yield from self._copy_clean_tensors(
+                        entry, previous, target, clean)
             # The engine charges PER_WQE_CPU_NS per WR actually posted —
             # an incremental pull pays for its dirty subset (and its
             # segmentation), not the whole layer count.
-            engine = self._engine(qps, ingest=True)
+            engine = self._engine(qps, ingest=True, trace_id=trace_id)
             try:
                 pulled = yield from engine.pull(region_mr, pairs,
                                                 f"pull:{name}")
@@ -499,8 +552,19 @@ class PortusDaemon:
                 # a slot the next checkpoint may claim); abort() again
                 # is a no-op, kept for the non-engine error paths.
                 engine.abort()
+                self.obs.metrics.counter("daemon.checkpoints_aborted").inc()
                 if not self.pool.closed:
-                    abort_checkpoint(entry.meta, target)
+                    # Any byte already landed in the target slot — the
+                    # incremental prefill or a completed pull WR — makes
+                    # the slot torn at its old step: invalidate it
+                    # rather than roll back to DONE (the torn-slot bug).
+                    data_dirty = (prefilled > 0
+                                  or engine.bytes_landed > 0)
+                    if data_dirty:
+                        self.obs.metrics.counter(
+                            "daemon.checkpoints_aborted_dirty").inc()
+                    abort_checkpoint(entry.meta, target,
+                                     data_dirty=data_dirty)
                 raise
             if self.pool.closed:
                 # The server lost power mid-pull: this daemon instance is
@@ -508,15 +572,22 @@ class PortusDaemon:
                 # pool and will never be trusted by a restore.
                 raise PortusError(
                     f"{name}: server crashed during checkpoint")
-            entry.meta.data_region(target).persist()
-            yield self.env.timeout(FLUSH_BARRIER_NS)
-            commit_checkpoint(entry.meta, target, step)
+            with self.obs.tracer.span(self.env, "ckpt.persist_commit",
+                                      cat="ckpt", trace_id=trace_id,
+                                      track="daemon", model=name):
+                entry.meta.data_region(target).persist()
+                yield self.env.timeout(FLUSH_BARRIER_NS)
+                commit_checkpoint(entry.meta, target, step)
         finally:
             self._release(entry)
         duration = self.env.now - started
         self.ledger.add("rdma_pull", duration)
         self.checkpoints_completed += 1
         self.bytes_pulled += pulled
+        self.obs.metrics.counter("daemon.checkpoints_completed").inc()
+        self.obs.metrics.counter("daemon.bytes_pulled").inc(pulled)
+        self.obs.metrics.histogram(
+            "daemon.checkpoint_latency_ns").record(duration)
         return protocol.reply(protocol.OP_CHECKPOINT_DONE, model=name,
                               step=step, version=target,
                               duration_ns=duration, bytes_pulled=pulled)
@@ -525,10 +596,13 @@ class PortusDaemon:
                             target: int, descriptors) -> Generator:
         """Incremental mode: complete the new version by copying the
         unchanged tensors from the previous DONE version — a local
-        PMem-to-PMem move, no network involved."""
+        PMem-to-PMem move, no network involved.  Returns the bytes
+        actually written into the target region (the abort path's
+        data-dirty signal: an interrupt during the simulated move lands
+        nothing, so the slot is still clean)."""
         total = sum(d.size for d in descriptors)
         if total == 0:
-            return
+            return 0
         copier = LocalCopyEngine(self.env, self.pool.device,
                                  chunk_bytes=self.engine_chunk_bytes)
         yield from copier.move(total, label="incremental-local-copy")
@@ -538,6 +612,7 @@ class PortusDaemon:
             content = source_region.read(descriptor.offset,
                                          descriptor.size)
             target_region.write(descriptor.offset, content)
+        return total
 
     # -- DO_RESTORE -----------------------------------------------------------------------
 
@@ -548,13 +623,14 @@ class PortusDaemon:
             raise NotAttached(f"{name}: no attached client to push to")
         self._claim(entry)
         qps = list(entry.qps)
+        trace_id = protocol.trace_of(message)
         started = self.env.now
         try:
             version, step = valid_checkpoint(entry.meta)
             region_mr = entry.version_mrs[version]
             pairs = list(zip(entry.meta.mindex.descriptors,
                              entry.client_tensors))
-            engine = self._engine(qps, ingest=False)
+            engine = self._engine(qps, ingest=False, trace_id=trace_id)
             try:
                 pushed = yield from engine.push(region_mr, pairs,
                                                 f"push:{name}")
@@ -564,6 +640,7 @@ class PortusDaemon:
                 # set so they cannot write stale bytes into the client
                 # after it re-attaches and retries.
                 engine.abort()
+                self.obs.metrics.counter("daemon.restores_aborted").inc()
                 raise
             if self.pool.closed:
                 raise PortusError(f"{name}: server crashed during restore")
@@ -573,6 +650,10 @@ class PortusDaemon:
         self.ledger.add("rdma_push", duration)
         self.restores_completed += 1
         self.bytes_pushed += pushed
+        self.obs.metrics.counter("daemon.restores_completed").inc()
+        self.obs.metrics.counter("daemon.bytes_pushed").inc(pushed)
+        self.obs.metrics.histogram(
+            "daemon.restore_latency_ns").record(duration)
         return protocol.reply(protocol.OP_RESTORE_DONE, model=name,
                               step=step, version=version,
                               duration_ns=duration, bytes_pushed=pushed)

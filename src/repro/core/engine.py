@@ -38,6 +38,7 @@ from collections import deque
 from typing import Callable, Dict, Generator, List, Optional, Sequence
 
 from repro.errors import ReproError
+from repro.obs import Observability
 from repro.sim import AllOf, AnyOf, Environment, Event, Transfer
 from repro.units import mib
 
@@ -139,7 +140,8 @@ class IngestLimiter:
     one stream each before any operation gets a second.
     """
 
-    def __init__(self, env: Environment, capacity: int) -> None:
+    def __init__(self, env: Environment, capacity: int,
+                 metrics=None) -> None:
         if capacity < 1:
             raise ReproError(f"capacity must be >= 1, got {capacity}")
         self.env = env
@@ -147,6 +149,11 @@ class IngestLimiter:
         self._holders: set = set()
         self._waiters: List[_StreamToken] = []
         self._held_by: Dict = {}
+        self.metrics = metrics
+
+    def _note_queue(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("limiter.queue_depth").set(len(self._waiters))
 
     @property
     def in_use(self) -> int:
@@ -158,6 +165,9 @@ class IngestLimiter:
             self._grant(token)
         else:
             self._waiters.append(token)
+            if self.metrics is not None:
+                self.metrics.counter("limiter.waits").inc()
+            self._note_queue()
         return token
 
     def release(self, token: _StreamToken) -> None:
@@ -178,12 +188,14 @@ class IngestLimiter:
                        key=lambda t: self._held_by.get(t.owner, 0))
             self._waiters.remove(best)
             self._grant(best)
+        self._note_queue()
 
     def _cancel(self, token: _StreamToken) -> None:
         if token in self._holders:
             self.release(token)
         elif token in self._waiters:
             self._waiters.remove(token)
+            self._note_queue()
 
 
 class TransferEngine:
@@ -203,7 +215,9 @@ class TransferEngine:
                  chunk_bytes: Optional[int] = ENGINE_CHUNK_BYTES,
                  pipelined: bool = True, largest_first: bool = True,
                  stream_limit=None,
-                 wqe_cost: Optional[Callable[[], Generator]] = None) -> None:
+                 wqe_cost: Optional[Callable[[], Generator]] = None,
+                 obs: Optional[Observability] = None,
+                 trace_id: Optional[int] = None) -> None:
         if not qps:
             raise ReproError("transfer engine needs at least one QP")
         if depth < 1:
@@ -216,11 +230,19 @@ class TransferEngine:
         self.largest_first = largest_first
         self.stream_limit = stream_limit
         self.wqe_cost = wqe_cost
+        self.obs = obs if obs is not None else Observability()
+        self.trace_id = trace_id
         #: WRs actually posted (the per-WR CPU charge is exact).
         self.posted_wrs = 0
         #: Peak concurrently-in-flight WRs across all lanes.
         self.peak_inflight = 0
         self.bytes_moved = 0
+        #: Bytes whose content actually landed in the target region —
+        #: includes WRs that completed OK while the lane was already
+        #: draining (the one-sided verbs deposit content at completion
+        #: time), which ``bytes_moved`` never sees.  This is the
+        #: "did the pull dirty the slot" signal for abort_checkpoint.
+        self.bytes_landed = 0
         self._inflight_now = 0
         self._aborted = False
         self._first_error: Optional[BaseException] = None
@@ -260,9 +282,14 @@ class TransferEngine:
             return 0
         queues = stripe_items(items, len(self.qps), self.largest_first)
         lane_fn = self._lane if self.pipelined else self._lane_barrier
+        span = self.obs.tracer.span(
+            self.env, f"engine.{kind}", cat="engine",
+            trace_id=self.trace_id, track="engine",
+            items=len(items), lanes=sum(1 for q in queues if q),
+            op=label_prefix)
         lanes = [
             self.env.process(lane_fn(kind, qp, deque(queue), region_mr,
-                                     label_prefix),
+                                     label_prefix, index, span),
                              name=f"engine-{kind}-lane{index}")
             for index, (qp, queue) in enumerate(zip(self.qps, queues))
             if queue
@@ -278,7 +305,9 @@ class TransferEngine:
             # down on their own.
             gate.defuse()
             self.abort()
+            span.finish(aborted=True, bytes_moved=self.bytes_moved)
             raise
+        span.finish(aborted=self._aborted, bytes_moved=self.bytes_moved)
         if self._first_error is not None:
             raise self._first_error
         return self.bytes_moved
@@ -298,7 +327,8 @@ class TransferEngine:
         return event
 
     def _lane(self, kind: str, qp, queue, region_mr,
-              label_prefix: str) -> Generator:
+              label_prefix: str, index: int = 0,
+              parent=None) -> Generator:
         """Safe process: sliding-window posting on one QP.
 
         Never fails — the first WR error is recorded, the stripe set
@@ -312,6 +342,11 @@ class TransferEngine:
         """
         inflight: Dict = {}
         pending_token = None
+        lane_span = self.obs.tracer.span(
+            self.env, f"lane.{kind}", cat="engine",
+            trace_id=self.trace_id, parent=parent,
+            track=f"engine/qp{index}", qp=index)
+        posted = 0
         try:
             while (queue or inflight) and not self._aborted:
                 while queue and len(inflight) < self.depth \
@@ -332,12 +367,22 @@ class TransferEngine:
                     item = queue.popleft()
                     event = self._post(kind, qp, item, region_mr,
                                        label_prefix)
-                    inflight[event] = (item, token)
+                    wr_span = self.obs.tracer.span(
+                        self.env, f"wr.{kind}", cat="wr",
+                        trace_id=self.trace_id, parent=lane_span,
+                        track=f"engine/qp{index}", item=item.name,
+                        bytes=item.size)
+                    posted += 1
+                    inflight[event] = (item, token, wr_span)
                     self._inflight_now += 1
                     self.peak_inflight = max(self.peak_inflight,
                                              self._inflight_now)
                 if self._aborted:
                     break
+                if queue and len(inflight) >= self.depth:
+                    # Out of QP credits with work still queued: the
+                    # stall the sliding window exists to minimise.
+                    self.obs.metrics.counter("engine.credit_stalls").inc()
                 waits = list(inflight)
                 if pending_token is not None:
                     waits.append(pending_token)
@@ -354,9 +399,11 @@ class TransferEngine:
             if pending_token is not None:
                 pending_token.cancel()
             self._drain(inflight)
+            lane_span.finish(posted=posted, aborted=self._aborted)
 
     def _lane_barrier(self, kind: str, qp, queue, region_mr,
-                      label_prefix: str) -> Generator:
+                      label_prefix: str, index: int = 0,
+                      parent=None) -> Generator:
         """Safe process: the seed's barrier-window posting on one QP.
 
         Completions are retired mid-window only to recycle stream
@@ -365,6 +412,10 @@ class TransferEngine:
         """
         inflight: Dict = {}
         pending_token = None
+        lane_span = self.obs.tracer.span(
+            self.env, f"lane.{kind}", cat="engine",
+            trace_id=self.trace_id, parent=parent,
+            track=f"engine/qp{index}", qp=index, barrier=True)
         try:
             while queue and not self._aborted:
                 window = deque()
@@ -396,7 +447,12 @@ class TransferEngine:
                     item = window.popleft()
                     event = self._post(kind, qp, item, region_mr,
                                        label_prefix)
-                    inflight[event] = (item, token)
+                    wr_span = self.obs.tracer.span(
+                        self.env, f"wr.{kind}", cat="wr",
+                        trace_id=self.trace_id, parent=lane_span,
+                        track=f"engine/qp{index}", item=item.name,
+                        bytes=item.size)
+                    inflight[event] = (item, token, wr_span)
                     self._inflight_now += 1
                     self.peak_inflight = max(self.peak_inflight,
                                              self._inflight_now)
@@ -412,6 +468,7 @@ class TransferEngine:
             if pending_token is not None:
                 pending_token.cancel()
             self._drain(inflight)
+            lane_span.finish(aborted=self._aborted)
 
     # -- completion bookkeeping --------------------------------------------------
 
@@ -425,28 +482,39 @@ class TransferEngine:
     def _retire(self, inflight: Dict) -> None:
         """Return credits (and stream tokens) for every settled WR."""
         for event in [event for event in inflight if event.triggered]:
-            item, token = inflight.pop(event)
+            item, token, span = inflight.pop(event)
             self._inflight_now -= 1
             if token is not None:
                 self.stream_limit.release(token)
             if event.ok:
                 self.bytes_moved += item.size
-            elif self._first_error is None:
-                self._record_error(event.value)
+                self.bytes_landed += item.size
+                span.finish(ok=True)
+            else:
+                span.finish(ok=False)
+                if self._first_error is None:
+                    self._record_error(event.value)
 
     def _drain(self, inflight: Dict) -> None:
         """Abort path: release tokens and defuse still-pending WRs.
 
         The flushed WRs fail at their natural completion time; defusing
         here keeps those late failures from crashing the run (the lane
-        is no longer waiting on them).
+        is no longer waiting on them).  A WR that completed OK before
+        the drain has already deposited its content (one-sided verbs
+        land bytes at completion), so it still counts into
+        ``bytes_landed`` even though the operation never retired it.
         """
-        for event, (_item, token) in inflight.items():
+        for event, (item, token, span) in inflight.items():
             self._inflight_now -= 1
             if token is not None:
                 self.stream_limit.release(token)
-            if not event.triggered or not event.ok:
+            if event.triggered and event.ok:
+                self.bytes_landed += item.size
+                span.finish(ok=True, drained=True)
+            else:
                 event.defuse()
+                span.finish(ok=False, drained=True)
         inflight.clear()
 
 

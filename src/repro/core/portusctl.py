@@ -4,7 +4,9 @@ Mirrors the paper's command-line tool (§IV-b): ``view`` lists every model
 on a device with its versions and flags; ``dump`` exports a model's
 newest valid checkpoint out of the index into the generic torch.save-like
 file format, so checkpoints taken through the zero-copy path remain
-shareable with ordinary framework users.
+shareable with ordinary framework users; ``stats`` prints the
+observability snapshot (metrics JSON, optionally a Chrome trace) of the
+demo deployment's checkpoint run.
 
 The library functions (:func:`view`, :func:`dump`, :func:`dump_to_file`)
 operate on a :class:`~repro.pmem.pool.PmemPool`; the installed ``portusctl``
@@ -23,7 +25,7 @@ from repro.core.consistency import checkpoint_states
 from repro.core.index import FLAG_NAMES, ModelMeta, ModelTable
 from repro.core.repack import repack
 from repro.dnn.serialize import serialize_entries
-from repro.errors import NoValidCheckpoint
+from repro.errors import NoValidCheckpoint, ReproError
 from repro.hw.content import Content
 from repro.pmem.pool import PmemPool
 from repro.units import fmt_bytes
@@ -87,11 +89,11 @@ def format_view(rows: List[Dict]) -> str:
 # --- console entry point --------------------------------------------------------
 
 
-def _demo_pool():
+def _demo_pool(tracing: bool = False):
     """A self-contained pool with two checkpointed models on it."""
     from repro.harness.cluster import PaperCluster
 
-    cluster = PaperCluster()
+    cluster = PaperCluster(tracing=tracing)
     pool = cluster.portus_pool
 
     def scenario(env):
@@ -119,23 +121,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     dump_parser.add_argument("filename",
                              help="host path for the exported checkpoint")
     sub.add_parser("repack", help="reclaim stale checkpoint versions")
+    stats_parser = sub.add_parser(
+        "stats", help="print the demo deployment's metrics snapshot")
+    stats_parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="also write a Chrome trace_event JSON of the demo run")
     args = parser.parse_args(argv)
 
-    _cluster, pool = _demo_pool()
-    if args.command == "view":
-        print(format_view(view(pool)))
-    elif args.command == "dump":
-        image = dump(pool, args.model)
-        with open(args.filename, "wb") as handle:
-            for chunk in image.iter_chunks():
-                handle.write(chunk)
-        print(f"dumped {args.model} ({fmt_bytes(image.size)}) "
-              f"to {args.filename}")
-    elif args.command == "repack":
-        report = repack(pool)
-        print(f"reclaimed {fmt_bytes(report.bytes_reclaimed)} "
-              f"(compacted {len(report.models_compacted)}, "
-              f"dropped {len(report.models_dropped)})")
+    try:
+        cluster, pool = _demo_pool(
+            tracing=getattr(args, "trace_out", None) is not None)
+        if args.command == "view":
+            print(format_view(view(pool)))
+        elif args.command == "dump":
+            image = dump(pool, args.model)
+            with open(args.filename, "wb") as handle:
+                for chunk in image.iter_chunks():
+                    handle.write(chunk)
+            print(f"dumped {args.model} ({fmt_bytes(image.size)}) "
+                  f"to {args.filename}")
+        elif args.command == "repack":
+            report = repack(pool)
+            print(f"reclaimed {fmt_bytes(report.bytes_reclaimed)} "
+                  f"(compacted {len(report.models_compacted)}, "
+                  f"dropped {len(report.models_dropped)})")
+        elif args.command == "stats":
+            print(cluster.obs.metrics.to_json())
+            if args.trace_out is not None:
+                cluster.obs.tracer.write(args.trace_out)
+                print(f"trace written to {args.trace_out}", file=sys.stderr)
+    except ReproError as exc:
+        # Unknown model names, missing checkpoints, and every other
+        # domain failure exit with a message, not a traceback.
+        print(f"portusctl: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

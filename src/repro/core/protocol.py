@@ -29,6 +29,24 @@ _BASE_SIZE = 96
 _PER_TENSOR_SIZE = 128  # name, dtype, shape, size, rkey, addr
 _PER_QP_SIZE = 16  # QP number + starting PSN per extra stripe lane
 
+#: Message key carrying the observability trace id end-to-end.  Real
+#: deployments tuck the id into reserved header bytes (W3C traceparent
+#: rides existing padding), so stamping it does NOT change any wire
+#: size — which is also what keeps tracing zero-cost in simulated time.
+TRACE_KEY = "trace"
+
+
+def stamp_trace(message: Dict[str, Any], trace_id) -> Dict[str, Any]:
+    """Attach *trace_id* to an outgoing message (no-op when None)."""
+    if trace_id is not None:
+        message[TRACE_KEY] = trace_id
+    return message
+
+
+def trace_of(message: Dict[str, Any]):
+    """The trace id a message carries, or None."""
+    return message.get(TRACE_KEY)
+
 
 def register(model_name: str, tensors: List[Dict[str, Any]],
              server_qp) -> Tuple[Dict[str, Any], int]:

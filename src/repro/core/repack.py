@@ -24,6 +24,7 @@ from typing import Generator, List, Optional
 
 from repro.core.engine import LocalCopyEngine
 from repro.core.index import ModelMeta, ModelTable
+from repro.obs import Observability
 from repro.pmem.pool import PmemPool
 from repro.sim import Environment
 
@@ -91,7 +92,8 @@ def repack_live(env: Environment, pool: PmemPool,
                 skip: Optional[List[str]] = None,
                 compact: bool = True,
                 chunk_bytes: Optional[int] = None,
-                streams: int = 1) -> Generator:
+                streams: int = 1,
+                obs: Optional[Observability] = None) -> Generator:
     """Process: online repack — reclamation plus timed compaction.
 
     Runs the same reclamation as :func:`repack`, then (with *compact*)
@@ -107,16 +109,27 @@ def repack_live(env: Environment, pool: PmemPool,
     persist, commit the MIndex record, then free the old extent.  A
     crash mid-move leaves the MIndex pointing at the intact old region;
     the orphaned new extent is allocator-level leakage, reclaimed at
-    the next pool open like any crash-window allocation.
+    the next pool open like any crash-window allocation.  The simulated
+    move and the content relocation are guarded together: an interrupt
+    or a pool death inside the move window commits nothing — the
+    content write, persist, and MIndex update only run once the move
+    finished on a still-open pool.
     """
     if table is None:
         table = ModelTable.open(pool)
+    obs = obs if obs is not None else Observability()
     report = repack(pool, table=table, drop_invalid=drop_invalid, skip=skip)
+    obs.metrics.counter("repack.models_dropped").inc(
+        len(report.models_dropped))
+    obs.metrics.counter("repack.bytes_reclaimed").inc(
+        report.bytes_reclaimed)
     if not compact:
         return report
     copier = LocalCopyEngine(env, pool.device, chunk_bytes=chunk_bytes,
                              streams=streams)
     skip_set = set(skip or ())
+    pass_span = obs.tracer.span(env, "repack.compact", cat="repack",
+                                track="repack")
     for name in table.names():
         if name in skip_set:
             continue
@@ -131,7 +144,31 @@ def repack_live(env: Environment, pool: PmemPool,
             # upward would fragment, not compact.
             pool.free(fresh)
             continue
-        yield from copier.move(old.size, label=f"repack:{name}")
+        span = obs.tracer.span(env, "repack.migrate", cat="repack",
+                               track="repack", model=name, bytes=old.size)
+        try:
+            yield from copier.move(old.size, label=f"repack:{name}")
+        except BaseException:
+            # Interrupted mid-move (daemon crash, power loss, a kill):
+            # nothing was committed, the MIndex still points at the
+            # intact old region.  Hand the fresh extent back while the
+            # pool is usable; on a closed pool it is crash-window
+            # leakage the next open reclaims.
+            if not pool.closed:
+                pool.free(fresh)
+            span.finish(aborted=True)
+            pass_span.finish(aborted=True)
+            obs.metrics.counter("repack.aborted").inc()
+            raise
+        if pool.closed:
+            # The pool died under us without interrupting this process
+            # (server power loss while repacking ran on another node's
+            # clock): the copy never landed and the old region stays
+            # committed — stop before touching dead media.
+            span.finish(aborted=True)
+            pass_span.finish(aborted=True)
+            obs.metrics.counter("repack.aborted").inc()
+            return report
         fresh.write(0, old.read(0, old.size))
         fresh.persist()
         regions = list(meta.data_regions)
@@ -143,4 +180,8 @@ def repack_live(env: Environment, pool: PmemPool,
         pool.free(old)
         report.models_migrated.append(name)
         report.bytes_moved += old.size
+        span.finish(ok=True)
+        obs.metrics.counter("repack.models_migrated").inc()
+        obs.metrics.counter("repack.bytes_moved").inc(old.size)
+    pass_span.finish(migrated=len(report.models_migrated))
     return report

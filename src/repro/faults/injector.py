@@ -34,6 +34,7 @@ from typing import Callable, Dict, Generator, List, Optional, Union
 
 from repro.errors import ReproError, WorkRequestError
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.obs import Observability
 from repro.rdma.nic import Rnic
 from repro.sim import Environment
 
@@ -41,11 +42,16 @@ from repro.sim import Environment
 class FaultInjector:
     """Applies fault events to a :class:`~repro.harness.cluster.PaperCluster`."""
 
-    def __init__(self, env: Environment, cluster=None, rand=None) -> None:
+    def __init__(self, env: Environment, cluster=None, rand=None,
+                 obs: Optional[Observability] = None) -> None:
         self.env = env
         self.cluster = cluster
         self.rand = rand if rand is not None else getattr(cluster, "rand",
                                                           None)
+        if obs is None:
+            cluster_obs = getattr(cluster, "obs", None)
+            obs = cluster_obs if cluster_obs is not None else Observability()
+        self.obs = obs
         #: Applied-event log: ``(sim_time_ns, description)`` tuples.
         self.log: List = []
         self._handlers: Dict[str, Callable[[FaultEvent], None]] = {
@@ -77,6 +83,8 @@ class FaultInjector:
         """Apply one event now and log it."""
         self._handlers[event.kind](event)
         self.log.append((self.env.now, event.describe(with_time=False)))
+        self.obs.metrics.counter("faults.injected").inc()
+        self.obs.metrics.counter(f"faults.injected.{event.kind}").inc()
 
     def log_lines(self) -> List[str]:
         return [f"{now}ns {what}" for now, what in self.log]

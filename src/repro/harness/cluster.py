@@ -28,6 +28,7 @@ from repro.fs.ext4 import LocalExtFilesystem
 from repro.hw.node import ComputeNode, StorageNode
 from repro.net.fabric import Fabric
 from repro.net.tcp import TcpStack
+from repro.obs import Observability
 from repro.pmem.pool import PmemPool
 from repro.rdma.nic import Rnic
 from repro.rdma.peer_mem import enable_peer_memory
@@ -41,11 +42,17 @@ class PaperCluster:
     def __init__(self, seed: int = 0, ampere_nodes: int = 2,
                  start_daemon: bool = True,
                  daemon_kwargs: Optional[Dict] = None,
-                 client_retry=None, client_num_qps: int = 1) -> None:
+                 client_retry=None, client_num_qps: int = 1,
+                 tracing: bool = False,
+                 obs: Optional[Observability] = None) -> None:
         env = Environment()
         self.env = env
         self.rand = RandomStreams(seed)
         self.fabric = Fabric(env)
+        #: One observability bundle for the whole deployment — the
+        #: daemon (and its successors across restarts), every client,
+        #: and the fault injector all share it.
+        self.obs = obs if obs is not None else Observability(tracing=tracing)
 
         # Storage server (AEP).
         self.server = StorageNode(env, "server", cores=72,
@@ -87,7 +94,8 @@ class PaperCluster:
         self.client_retry = client_retry
         self.client_num_qps = client_num_qps
         self.daemon = PortusDaemon(env, self.server, self.portus_pool,
-                                   self.server_tcp, **self._daemon_kwargs)
+                                   self.server_tcp, obs=self.obs,
+                                   **self._daemon_kwargs)
         if start_daemon:
             self.daemon.start()
         self.beegfs_backing = DaxFilesystem(env, self.server.pmem_fsdax)
@@ -125,7 +133,8 @@ class PaperCluster:
         if client is None:
             client = PortusClient(self.env, node, self.tcp_of(node),
                                   self.daemon, retry=self.client_retry,
-                                  num_qps=self.client_num_qps)
+                                  num_qps=self.client_num_qps,
+                                  obs=self.obs)
             self._portus_clients[node.name] = client
         return client
 
@@ -170,7 +179,7 @@ class PaperCluster:
         self.daemon = PortusDaemon(self.env, self.server, pool,
                                    self.server_tcp,
                                    port=old_port if port is None else port,
-                                   **self._daemon_kwargs)
+                                   obs=self.obs, **self._daemon_kwargs)
         self.daemon.start()
         for client in self._portus_clients.values():
             client.daemon = self.daemon

@@ -318,6 +318,75 @@ def fig13_bert_breakdown() -> Dict[str, Dict[str, float]]:
     return results
 
 
+def fig13_portus_traced(trace_out: Optional[str] = None,
+                        metrics_out: Optional[str] = None) -> Dict:
+    """Fig. 13-style Portus breakdown from the observability layer.
+
+    Runs the same single-model checkpoint twice — tracing off, then on —
+    asserts the simulated timings are bit-identical (the zero-cost
+    contract: observability must never perturb what it measures), and
+    derives the phase breakdown from the daemon's spans instead of the
+    wall-clock subtraction the baseline breakdowns need.  Optionally
+    writes the Chrome trace and the metrics snapshot to host files.
+    """
+    def run(tracing: bool):
+        cluster = PaperCluster(seed=106, tracing=tracing)
+        holder: Dict[str, int] = {}
+
+        def scenario(env):
+            session = yield from cluster.portus_register("bert_large")
+            session.model.update_step(1)
+            start = env.now
+            yield from session.checkpoint(1)
+            holder["total"] = env.now - start
+            holder["end"] = env.now
+
+        cluster.run(scenario)
+        holder["ledger"] = dict(cluster.daemon.ledger.asdict())
+        return cluster, holder
+
+    _base_cluster, base = run(tracing=False)
+    cluster, traced = run(tracing=True)
+    identical = (base["total"] == traced["total"]
+                 and base["end"] == traced["end"]
+                 and base["ledger"] == traced["ledger"])
+    if not identical:
+        raise AssertionError(
+            f"tracing perturbed simulated time: untraced {base}, "
+            f"traced {traced}")
+
+    tracer = cluster.obs.tracer
+    client_span = tracer.one("client.DO_CHECKPOINT")
+    daemon_span = tracer.one("daemon.DO_CHECKPOINT")
+    pull_span = tracer.one("engine.read")
+    begin_span = tracer.one("ckpt.begin")
+    commit_span = tracer.one("ckpt.persist_commit")
+    total = client_span.duration_ns
+    phases_ns = {
+        "begin": begin_span.duration_ns,
+        "rdma_pull": pull_span.duration_ns,
+        "persist_commit": commit_span.duration_ns,
+        "daemon_dispatch": (daemon_span.duration_ns
+                            - begin_span.duration_ns
+                            - pull_span.duration_ns
+                            - commit_span.duration_ns),
+        "control_plane": total - daemon_span.duration_ns,
+    }
+    if trace_out is not None:
+        tracer.write(trace_out)
+    if metrics_out is not None:
+        cluster.obs.metrics.write(metrics_out)
+    return {
+        "total_ns": total,
+        "phases_ns": phases_ns,
+        "shares": {phase: ns / total for phase, ns in phases_ns.items()},
+        "bit_identical": identical,
+        "span_count": len(tracer.spans),
+        "chrome_trace_json": tracer.chrome_trace_json(),
+        "metrics": cluster.obs.metrics.snapshot(),
+    }
+
+
 # --- Fig. 14: GPT checkpoint dump, torch.save vs Portus -----------------------------------
 
 

@@ -56,6 +56,30 @@ def render_series(title: str, x_label: str, series: Dict[str, List],
     return render_table(title, headers, rows)
 
 
+def render_metrics(title: str, snapshot: Dict[str, Dict]) -> str:
+    """A metrics-registry snapshot as a table (one row per instrument).
+
+    Counters show their value, gauges value/max, histograms
+    count/mean/p50/p99 — enough to read a run's health at a glance; the
+    full snapshot stays available as JSON for machines.
+    """
+    rows = []
+    for name in sorted(snapshot):
+        data = dict(snapshot[name])
+        kind = data.pop("type", "?")
+        if kind == "counter":
+            detail = f"value={data['value']}"
+        elif kind == "gauge":
+            detail = f"value={data['value']} max={data['max']}"
+        elif kind == "histogram":
+            detail = (f"count={data['count']} mean={data['mean']:.0f} "
+                      f"p50={data['p50']} p99={data['p99']}")
+        else:
+            detail = repr(data)
+        rows.append([name, kind, detail])
+    return render_table(title, ["metric", "type", "detail"], rows)
+
+
 def fmt_speedup(value: float) -> str:
     return f"{value:.2f}x"
 

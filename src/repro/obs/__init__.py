@@ -1,0 +1,53 @@
+"""Observability for the checkpoint/restore path: spans + metrics.
+
+One :class:`Observability` bundle per simulated deployment (the
+:class:`~repro.harness.cluster.PaperCluster` owns one and hands it to
+the daemon, every client, the fault injector, and the repacker), holding
+
+* a :class:`~repro.obs.trace.Tracer` — request-scoped spans on the
+  simulation clock, exportable as Chrome ``trace_event`` JSON; disabled
+  by default so the fast path pays one attribute check;
+* a :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  HDR-style latency histograms, snapshotable as plain JSON.
+
+Both sides observe only — nothing here yields, schedules simulation
+events, or changes control-plane wire sizes, so instrumented runs keep
+simulated timings bit-identical to uninstrumented ones (the zero-cost
+contract, held by ``tests/obs/test_zero_cost.py``).
+"""
+
+from typing import Any, Dict
+
+from repro.obs.metrics import (Counter, Gauge, Histogram,  # noqa: F401
+                               MetricsRegistry)
+from repro.obs.trace import NULL_SPAN, Span, Tracer  # noqa: F401
+
+
+class Observability:
+    """A tracer + metrics registry pair shared by one deployment."""
+
+    def __init__(self, tracing: bool = False) -> None:
+        self.tracer = Tracer(enabled=tracing)
+        self.metrics = MetricsRegistry()
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.enabled
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Metrics snapshot plus a span inventory summary."""
+        return {"metrics": self.metrics.snapshot(),
+                "spans": len(self.tracer.spans),
+                "tracing": self.tracer.enabled}
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Observability",
+    "Span",
+    "Tracer",
+]

@@ -98,3 +98,57 @@ def test_cli_repack_reports(capsys):
     assert main(["repack"]) == 0
     out = capsys.readouterr().out
     assert "reclaimed" in out
+
+
+def test_cli_dump_unknown_model_exits_cleanly(tmp_path, capsys):
+    """Regression: an unknown model must produce a clean error message
+    and a nonzero exit, not a raw traceback from table.lookup()."""
+    target = tmp_path / "nope.pt"
+    assert main(["dump", "no-such-model", str(target)]) == 1
+    captured = capsys.readouterr()
+    assert "portusctl:" in captured.err
+    assert "no-such-model" in captured.err
+    assert not target.exists()
+
+
+def test_cli_dump_model_without_checkpoint_exits_cleanly(tmp_path, capsys,
+                                                         monkeypatch):
+    """Regression: a model that exists but has no valid checkpoint also
+    gets the clean-error path."""
+    import repro.core.portusctl as portusctl_mod
+
+    def demo_without_checkpoints(tracing=False):
+        cluster = PaperCluster(seed=13)
+
+        def scenario(env):
+            yield from cluster.portus_register("alexnet")
+
+        cluster.run(scenario)
+        return cluster, cluster.portus_pool
+
+    monkeypatch.setattr(portusctl_mod, "_demo_pool",
+                        demo_without_checkpoints)
+    assert main(["dump", "alexnet", str(tmp_path / "x.pt")]) == 1
+    err = capsys.readouterr().err
+    assert "portusctl:" in err and "NoValidCheckpoint" in err
+
+
+def test_cli_stats_prints_metrics_json(capsys):
+    import json
+
+    assert main(["stats"]) == 0
+    out = capsys.readouterr().out
+    snapshot = json.loads(out)
+    assert snapshot["daemon.checkpoints_completed"]["value"] == 2
+    assert snapshot["daemon.checkpoint_latency_ns"]["count"] == 2
+
+
+def test_cli_stats_trace_out_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "demo.json"
+    assert main(["stats", "--trace-out", str(trace_path)]) == 0
+    trace = json.loads(trace_path.read_text())
+    names = {event["name"] for event in trace["traceEvents"]}
+    assert "daemon.DO_CHECKPOINT" in names
+    assert "engine.read" in names

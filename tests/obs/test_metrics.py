@@ -1,0 +1,127 @@
+"""Tests for counters, gauges, HDR histograms, and the registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_monotonic():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(9)
+    assert counter.value == 10
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    assert counter.snapshot() == {"type": "counter", "value": 10}
+
+
+def test_gauge_tracks_high_water_mark():
+    gauge = Gauge("g")
+    gauge.set(7)
+    gauge.set(3)
+    assert gauge.value == 3
+    assert gauge.max == 7
+    assert gauge.snapshot() == {"type": "gauge", "value": 3, "max": 7}
+
+
+def test_histogram_small_values_are_exact():
+    hist = Histogram("h", sub_bits=5)
+    for value in range(32):  # below 2**sub_bits every value is its own bucket
+        assert hist._index(value) == value
+        assert hist._upper_bound(hist._index(value)) == value
+
+
+def test_histogram_bucket_relative_error_is_bounded():
+    hist = Histogram("h", sub_bits=5)
+    for value in (33, 100, 1023, 4096, 10**6, 10**9, 37 * 10**9):
+        upper = hist._upper_bound(hist._index(value))
+        assert upper >= value
+        # HDR guarantee: the bucket upper bound overshoots by < 1/2**sub_bits.
+        assert (upper - value) / value < 1 / 32 + 1e-9
+
+
+def test_histogram_percentiles_and_stats():
+    hist = Histogram("lat")
+    for value in range(1, 101):  # 1..100
+        hist.record(value)
+    assert hist.count == 100
+    assert hist.min == 1
+    assert hist.max == 100
+    assert hist.mean == pytest.approx(50.5)
+    assert hist.percentile(50) in range(48, 54)
+    p99 = hist.percentile(99)
+    assert 97 <= p99 <= 100
+    # Percentiles never exceed the observed max even at bucket edges.
+    assert hist.percentile(100) == 100
+    with pytest.raises(ValueError):
+        hist.percentile(0)
+    with pytest.raises(ValueError):
+        hist.record(-5)
+
+
+def test_histogram_empty_snapshot():
+    hist = Histogram("empty")
+    snap = hist.snapshot()
+    assert snap["count"] == 0
+    assert snap["p50"] == 0
+    assert snap["mean"] == 0.0
+
+
+def test_histogram_snapshot_keys():
+    hist = Histogram("lat")
+    hist.record(10)
+    snap = hist.snapshot()
+    assert {"type", "count", "sum", "min", "max", "mean",
+            "p50", "p90", "p99", "p99_9"} == set(snap)
+
+
+def test_registry_get_or_create_and_kind_mismatch():
+    registry = MetricsRegistry()
+    counter = registry.counter("x")
+    assert registry.counter("x") is counter
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    assert registry.get("x") is counter
+    assert registry.get("missing") is None
+    registry.histogram("h").record(3)
+    registry.gauge("g").set(2)
+    assert registry.names() == ["g", "h", "x"]
+
+
+def test_registry_snapshot_is_json_and_sorted():
+    registry = MetricsRegistry()
+    registry.counter("b").inc(2)
+    registry.counter("a").inc(1)
+    snapshot = registry.snapshot()
+    assert list(snapshot) == ["a", "b"]
+    parsed = json.loads(registry.to_json())
+    assert parsed == {"a": {"type": "counter", "value": 1},
+                      "b": {"type": "counter", "value": 2}}
+
+
+def test_registry_merge_semantics():
+    ours = MetricsRegistry()
+    theirs = MetricsRegistry()
+    ours.counter("c").inc(1)
+    theirs.counter("c").inc(2)
+    ours.gauge("g").set(5)
+    theirs.gauge("g").set(3)
+    theirs.histogram("h").record(100)
+    theirs.histogram("h").record(200)
+    ours.merge(theirs)
+    assert ours.counter("c").value == 3
+    assert ours.gauge("g").max == 5  # our high-water mark survives
+    assert ours.histogram("h").count == 2
+    # Histogram merge re-records bucket uppers: totals stay within the
+    # HDR relative-error band of the true sum.
+    assert 300 <= ours.histogram("h").total <= 300 * (1 + 1 / 32)
+
+
+def test_registry_write(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("written").inc(4)
+    path = tmp_path / "metrics.json"
+    registry.write(str(path))
+    assert json.loads(path.read_text())["written"]["value"] == 4

@@ -1,0 +1,139 @@
+"""Tests for the span tracer and its Chrome trace_event export."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_SPAN, Observability, Tracer
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_disabled_tracer_hands_out_the_null_span(env):
+    tracer = Tracer(enabled=False)
+    span = tracer.span(env, "anything", track="daemon")
+    assert span is NULL_SPAN
+    span.finish(extra=1)  # all no-ops
+    span.annotate(more=2)
+    with span:
+        pass
+    assert tracer.spans == []
+    assert tracer.new_trace() is None
+
+
+def test_span_records_simulated_interval(env):
+    tracer = Tracer(enabled=True)
+    span = tracer.span(env, "work", track="daemon")
+    env.run_process(env.process(_wait(env, 500)))
+    span.finish(bytes=42)
+    assert span.start_ns == 0
+    assert span.end_ns == 500
+    assert span.duration_ns == 500
+    assert span.args == {"bytes": 42}
+    # finish is idempotent: a second finish keeps the first end time.
+    env.run_process(env.process(_wait(env, 100)))
+    span.finish()
+    assert span.end_ns == 500
+
+
+def _wait(env, ns):
+    yield env.timeout(ns)
+
+
+def test_trace_and_span_ids_are_deterministic_counters(env):
+    tracer = Tracer(enabled=True)
+    assert tracer.new_trace() == 1
+    assert tracer.new_trace() == 2
+    a = tracer.span(env, "a", trace_id=1)
+    b = tracer.span(env, "b", trace_id=1, parent=a)
+    assert (a.span_id, b.span_id) == (1, 2)
+    assert b.parent_id == a.span_id
+
+
+def test_parent_child_and_queries(env):
+    tracer = Tracer(enabled=True)
+    parent = tracer.span(env, "request", track="client")
+    tracer.span(env, "pull", parent=parent, track="engine/qp0")
+    tracer.span(env, "pull", parent=parent, track="engine/qp1")
+    assert len(tracer.named("pull")) == 2
+    assert tracer.one("request") is parent
+    with pytest.raises(ValueError):
+        tracer.one("pull")
+    with pytest.raises(ValueError):
+        tracer.one("missing")
+
+
+def test_chrome_trace_export_shape(env):
+    tracer = Tracer(enabled=True)
+    trace_id = tracer.new_trace()
+    with tracer.span(env, "ckpt", cat="rpc", trace_id=trace_id,
+                     track="daemon", model="bert"):
+        env.run_process(env.process(_wait(env, 1500)))
+    events = tracer.chrome_trace()
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {m["name"] for m in meta} == {"process_name", "thread_name"}
+    (span,) = spans
+    assert span["name"] == "ckpt"
+    assert span["cat"] == "rpc"
+    assert span["ts"] == 0.0
+    assert span["dur"] == 1.5  # 1500 ns in microseconds
+    assert span["args"]["model"] == "bert"
+    assert span["args"]["trace_id"] == trace_id
+
+
+def test_chrome_trace_tracks_map_to_pid_tid(env):
+    tracer = Tracer(enabled=True)
+    tracer.span(env, "a", track="daemon").finish()
+    tracer.span(env, "b", track="engine/qp0").finish()
+    tracer.span(env, "c", track="engine/qp1").finish()
+    events = tracer.chrome_trace()
+    spans = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert spans["b"]["pid"] == spans["c"]["pid"]  # same process
+    assert spans["b"]["tid"] != spans["c"]["tid"]  # different threads
+    assert spans["a"]["pid"] != spans["b"]["pid"]
+
+
+def test_chrome_trace_json_round_trips_and_is_deterministic(env, tmp_path):
+    def build():
+        local_env = Environment()
+        tracer = Tracer(enabled=True)
+        tid = tracer.new_trace()
+        span = tracer.span(local_env, "op", trace_id=tid, track="x/y")
+        span.finish(n=3)
+        return tracer.chrome_trace_json(indent=2)
+
+    first, second = build(), build()
+    assert first == second
+    parsed = json.loads(first)
+    assert parsed["displayTimeUnit"] == "ns"
+    assert parsed["traceEvents"]
+
+    tracer = Tracer(enabled=True)
+    tracer.span(env, "op", track="x").finish()
+    path = tmp_path / "trace.json"
+    tracer.write(str(path))
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+def test_unfinished_spans_are_flagged_in_export(env):
+    tracer = Tracer(enabled=True)
+    tracer.span(env, "hung", track="daemon")  # never finished
+    (event,) = [e for e in tracer.chrome_trace() if e["ph"] == "X"]
+    assert event["args"]["unfinished"] is True
+    assert event["dur"] == 0.0
+
+
+def test_observability_bundle_snapshot(env):
+    obs = Observability(tracing=True)
+    assert obs.tracing
+    obs.tracer.span(env, "x", track="t").finish()
+    obs.metrics.counter("c").inc(5)
+    snap = obs.snapshot()
+    assert snap["spans"] == 1
+    assert snap["tracing"] is True
+    assert snap["metrics"]["c"]["value"] == 5
