@@ -2,7 +2,9 @@
 # The single CI gate.  Runs, in order:
 #
 #   1. tier-1: the full unit/integration suite (tests/), including the
-#      chaos sweeps at their default 200 schedules;
+#      chaos sweeps at their default 200 schedules and the crash-point
+#      sweep at every boundary; then a `portusctl fsck` smoke — the
+#      demo pool must verify structurally clean;
 #   2. bench smoke: every benchmark datapath, tiniest config, one
 #      iteration (scripts/bench_smoke.sh);
 #   3. trace smoke: a traced benchmark run must emit loadable Chrome
@@ -19,12 +21,16 @@ cd "$(dirname "$0")/.."
 if [[ "${CI_FAST:-0}" != "0" ]]; then
     export PORTUS_CHAOS_EXAMPLES="${PORTUS_CHAOS_EXAMPLES:-20}"
     export PORTUS_TORN_EXAMPLES="${PORTUS_TORN_EXAMPLES:-20}"
+    export PORTUS_CRASHPOINT_STRIDE="${PORTUS_CRASHPOINT_STRIDE:-5}"
 fi
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
 step "tier-1 test suite"
 PYTHONPATH=src python -m pytest -x -q
+
+step "portusctl fsck smoke (demo pool must verify clean)"
+PYTHONPATH=src python -m repro.core.portusctl fsck
 
 step "benchmark smoke"
 scripts/bench_smoke.sh

@@ -669,8 +669,12 @@ class PortusDaemon:
                 mr = entry.version_mrs[version]
                 if mr is not None:
                     self.node.nic.deregister_mr(mr)
-            entry.meta.free()
+            # Remove the ModelTable entry (committed) BEFORE releasing
+            # the extents: a crash mid-unregister then only leaks
+            # GC-able extents, instead of leaving a table entry that
+            # points at freed metadata and wedges the next recovery.
             self.table.remove(name)
+            entry.meta.free()
             self.model_map.delete(name)
         finally:
             self._release(entry)

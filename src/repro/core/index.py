@@ -40,6 +40,18 @@ _ALIGN = 64
 _FLAGS = struct.Struct("<BBQQ")  # v0_state, v1_state, v0_step, v1_step
 _FLAGS_SLOT = blob_capacity(_FLAGS.size) + 32  # headroom inside the slot
 
+# The write-once geometry header at the front of every metadata region:
+# magic, layout version, flags slot size, MIndex slot size.  Recovery
+# derives every record offset from these persisted values instead of
+# re-deriving them from the allocation size — which can legitimately be
+# rounded up by the pool — so a reader never probes the B slot at the
+# wrong offset.  The header is persisted before the model becomes
+# reachable from the ModelTable, so it is crash-atomic by construction.
+_META_HEADER = struct.Struct("<IIII")  # magic, version, flags_slot, mindex_slot
+_META_MAGIC = 0x4D455441  # "META"
+_META_LAYOUT_VERSION = 1
+_META_HEADER_SIZE = 64  # header struct, padded to the data alignment
+
 _MINDEX_HEADER = struct.Struct("<64sIQQQ")  # name, count, v0, v1, total
 _TENSOR_ENTRY = struct.Struct("<64s16sB8QQQ")  # name, dtype, ndim, dims, size, offset
 
@@ -207,24 +219,36 @@ class ModelMeta:
 
     def __init__(self, pool: PmemPool, meta: Allocation,
                  mindex: MIndex, data_regions: Tuple[Allocation,
-                                                     Allocation]) -> None:
+                                                     Allocation],
+                 flags_slot: int = _FLAGS_SLOT,
+                 mindex_slot: Optional[int] = None) -> None:
         self.pool = pool
         self.meta = meta
         self.mindex = mindex
         self.data_regions = data_regions
-        self._flags_record = CommittedRecord(meta, 0, _FLAGS_SLOT)
+        self.flags_slot = flags_slot
+        self.mindex_slot = (mindex_slot if mindex_slot is not None
+                            else MIndex.slot_size(mindex.layer_count))
+        self._flags_record = CommittedRecord(meta, _META_HEADER_SIZE,
+                                             self.flags_slot)
         self._mindex_record = CommittedRecord(
-            meta, 2 * _FLAGS_SLOT, MIndex.slot_size(mindex.layer_count))
+            meta, _META_HEADER_SIZE + 2 * self.flags_slot, self.mindex_slot)
 
     # -- creation / recovery --------------------------------------------------------
+
+    @staticmethod
+    def meta_region_size(tensor_count: int) -> int:
+        """Bytes the metadata region needs for *tensor_count* tensors."""
+        return (_META_HEADER_SIZE + 2 * _FLAGS_SLOT
+                + 2 * MIndex.slot_size(tensor_count))
 
     @classmethod
     def create(cls, pool: PmemPool, model_name: str,
                specs: List[TensorSpec]) -> "ModelMeta":
         """Allocate the metadata region and both TensorData versions."""
         descriptors, region_size = layout_tensors(specs)
-        meta_size = 2 * _FLAGS_SLOT + 2 * MIndex.slot_size(len(descriptors))
-        meta = pool.alloc(meta_size, tag=f"{META_TAG}/{_short(model_name)}")
+        meta = pool.alloc(cls.meta_region_size(len(descriptors)),
+                          tag=f"{META_TAG}/{_short(model_name)}")
         data0 = pool.alloc(region_size,
                            tag=f"{DATA_TAG}/{_short(model_name)}/v0")
         data1 = pool.alloc(region_size,
@@ -232,32 +256,83 @@ class ModelMeta:
         mindex = MIndex(model_name, descriptors, (data0.addr, data1.addr),
                         sum(d.size for d in descriptors))
         instance = cls(pool, meta, mindex, (data0, data1))
+        meta.write_bytes(0, _META_HEADER.pack(
+            _META_MAGIC, _META_LAYOUT_VERSION, instance.flags_slot,
+            instance.mindex_slot))
+        meta.persist(0, _META_HEADER.size)
         instance._mindex_record.write(mindex.pack())
         instance.write_flags(VersionFlags())
         return instance
 
+    @staticmethod
+    def read_geometry(meta: Allocation) -> Tuple[int, int]:
+        """The persisted ``(flags_slot, mindex_slot)`` of a meta region.
+
+        Raises :class:`PmemError` when the header is torn or was never
+        written — the region is not (or no longer) a model's metadata.
+        """
+        try:
+            raw = meta.read_bytes(0, _META_HEADER.size)
+        except ValueError as exc:
+            raise PmemError(
+                f"meta header unreadable at {meta.addr:#x}") from exc
+        magic, version, flags_slot, mindex_slot = _META_HEADER.unpack(raw)
+        if magic != _META_MAGIC:
+            raise PmemError(
+                f"bad meta header magic {magic:#x} at {meta.addr:#x}")
+        if version != _META_LAYOUT_VERSION:
+            raise PmemError(
+                f"unsupported meta layout version {version} "
+                f"at {meta.addr:#x}")
+        if flags_slot <= 0 or mindex_slot <= 0 or \
+                _META_HEADER_SIZE + 2 * flags_slot + 2 * mindex_slot \
+                > meta.size:
+            raise PmemError(
+                f"meta geometry out of bounds at {meta.addr:#x}: "
+                f"flags_slot={flags_slot} mindex_slot={mindex_slot} "
+                f"region={meta.size}")
+        return flags_slot, mindex_slot
+
     @classmethod
-    def open(cls, pool: PmemPool, meta_addr: int) -> "ModelMeta":
+    def open(cls, pool: PmemPool, meta_addr: int,
+             lenient: bool = False) -> "ModelMeta":
         """Rebuild from PMem after a daemon restart or crash.
 
-        A version address of 0 marks a slot the repacking tool reclaimed;
-        its region handle is None until :meth:`ensure_regions` re-creates
-        it on the next attach.
+        Record geometry comes from the persisted header — never from the
+        allocation size, which the pool may have rounded up — so the B
+        slot is always probed where the writer put it.  A version address
+        of 0 marks a slot the repacking tool reclaimed; its region handle
+        is None until :meth:`ensure_regions` re-creates it on the next
+        attach.
+
+        With *lenient* (fsck), a nonzero version address that no device
+        allocation backs maps to a None region instead of raising, so
+        the verifier can inspect the rest of the model and demote just
+        the broken slot.
         """
         meta = pool.device.allocation_at(meta_addr)
-        # The MIndex slot size depends on the tensor count, which we only
-        # learn from the record itself; probe with the maximum remaining
-        # span of the metadata region.
-        probe_slot = (meta.size - 2 * _FLAGS_SLOT) // 2
-        probe = CommittedRecord(meta, 2 * _FLAGS_SLOT, probe_slot)
-        committed = probe.read()
+        flags_slot, mindex_slot = cls.read_geometry(meta)
+        record = CommittedRecord(meta, _META_HEADER_SIZE + 2 * flags_slot,
+                                 mindex_slot)
+        committed = record.read()
         if committed is None:
             raise PmemError(f"MIndex record unreadable at {meta_addr:#x}")
         mindex = MIndex.unpack(committed[0])
-        data_regions = tuple(
-            pool.device.allocation_at(addr) if addr else None
-            for addr in mindex.version_addrs)
-        return cls(pool, meta, mindex, data_regions)
+
+        def resolve(addr: int) -> Optional[Allocation]:
+            if not addr:
+                return None
+            try:
+                return pool.device.allocation_at(addr)
+            except Exception:
+                if lenient:
+                    return None
+                raise
+
+        data_regions = tuple(resolve(addr)
+                             for addr in mindex.version_addrs)
+        return cls(pool, meta, mindex, data_regions,
+                   flags_slot=flags_slot, mindex_slot=mindex_slot)
 
     def ensure_regions(self) -> None:
         """Re-allocate any version slot the repacking tool reclaimed."""
@@ -279,12 +354,24 @@ class ModelMeta:
             self._mindex_record.write(self.mindex.pack())
 
     def drop_version(self, version: int) -> int:
-        """Free one version's TensorData; returns the bytes reclaimed."""
+        """Free one version's TensorData; returns the bytes reclaimed.
+
+        Crash-safe ordering: demote the flag first (a crash after leaves
+        an EMPTY slot whose data is merely still allocated), then commit
+        the MIndex with address 0 (a crash after leaves the extent
+        committed but unreferenced — a leak fsck reclaims), and free the
+        extent last (the allocator's own leak-only window).  At no point
+        can a DONE flag coexist with a zero or freed version address —
+        the ordering bug that used to crash restore-after-restart.
+        """
         region = self.data_regions[version]
         if region is None:
             return 0
         reclaimed = region.size
-        self.pool.free(region)
+        flags = self.read_flags()
+        flags.states[version] = FLAG_EMPTY
+        flags.steps[version] = 0
+        self.write_flags(flags)
         regions = list(self.data_regions)
         regions[version] = None
         self.data_regions = tuple(regions)
@@ -292,10 +379,7 @@ class ModelMeta:
         addrs[version] = 0
         self.mindex.version_addrs = tuple(addrs)
         self._mindex_record.write(self.mindex.pack())
-        flags = self.read_flags()
-        flags.states[version] = FLAG_EMPTY
-        flags.steps[version] = 0
-        self.write_flags(flags)
+        self.pool.free(region)
         return reclaimed
 
     # -- flags ------------------------------------------------------------------------
@@ -332,10 +416,19 @@ def _short(name: str) -> str:
 
 
 class ModelTable:
-    """Level 1: the persistent sorted name -> meta_addr array."""
+    """Level 1: the persistent sorted name -> meta_addr array.
+
+    The table's geometry (``max_models``, which fixes the slot size) is
+    persisted: in the record payload header, and implicitly in the size
+    of the region ``create`` allocated.  ``open`` derives the slot size
+    from the region instead of trusting its caller, so a daemon started
+    with a different ``max_models`` than the one that formatted the pool
+    can never silently misread the B slot — a mismatch is rejected
+    loudly.
+    """
 
     _ENTRY = struct.Struct("<64sQ")
-    _COUNT = struct.Struct("<I")
+    _HEADER = struct.Struct("<II")  # max_models, count
 
     def __init__(self, record: CommittedRecord, max_models: int) -> None:
         self._record = record
@@ -344,7 +437,7 @@ class ModelTable:
 
     @staticmethod
     def slot_size(max_models: int) -> int:
-        return blob_capacity(ModelTable._COUNT.size
+        return blob_capacity(ModelTable._HEADER.size
                              + max_models * ModelTable._ENTRY.size) + 32
 
     @classmethod
@@ -356,25 +449,44 @@ class ModelTable:
         return table
 
     @classmethod
-    def open(cls, pool: PmemPool, max_models: int = 512) -> "ModelTable":
+    def open(cls, pool: PmemPool,
+             max_models: Optional[int] = None) -> "ModelTable":
+        """Open the table with its *persisted* geometry.
+
+        *max_models*, when given, is validated against the stored value
+        (a mismatch raises :class:`PmemError`); by default the stored
+        geometry is simply used.
+        """
         regions = pool.find_by_tag(TABLE_TAG)
         if not regions:
             raise PmemError("no Portus ModelTable on this pool")
-        table = cls(CommittedRecord(regions[0], 0,
-                                    cls.slot_size(max_models)), max_models)
-        committed = table._record.read()
-        if committed is not None:
-            payload = committed[0]
-            (count,) = cls._COUNT.unpack_from(payload)
-            for i in range(count):
-                raw_name, addr = cls._ENTRY.unpack_from(
-                    payload, cls._COUNT.size + i * cls._ENTRY.size)
-                table._entries[_unpack_name(raw_name)] = addr
+        slot = regions[0].size // 2
+        record = CommittedRecord(regions[0], 0, slot)
+        committed = record.read()
+        if committed is None:
+            raise PmemError(
+                f"ModelTable record unreadable at {regions[0].addr:#x}")
+        payload = committed[0]
+        stored_max, count = cls._HEADER.unpack_from(payload)
+        if cls.slot_size(stored_max) != slot:
+            raise PmemError(
+                f"ModelTable geometry mismatch: region slot is {slot} "
+                f"bytes but stored max_models={stored_max} implies "
+                f"{cls.slot_size(stored_max)}")
+        if max_models is not None and max_models != stored_max:
+            raise PmemError(
+                f"ModelTable was created with max_models={stored_max}, "
+                f"refusing to open with max_models={max_models}")
+        table = cls(record, stored_max)
+        for i in range(count):
+            raw_name, addr = cls._ENTRY.unpack_from(
+                payload, cls._HEADER.size + i * cls._ENTRY.size)
+            table._entries[_unpack_name(raw_name)] = addr
         return table
 
     def _commit(self) -> None:
         names = sorted(self._entries)
-        payload = self._COUNT.pack(len(names)) + b"".join(
+        payload = self._HEADER.pack(self.max_models, len(names)) + b"".join(
             self._ENTRY.pack(_pack_name(name), self._entries[name])
             for name in names)
         self._record.write(payload)

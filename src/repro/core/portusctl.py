@@ -4,9 +4,11 @@ Mirrors the paper's command-line tool (§IV-b): ``view`` lists every model
 on a device with its versions and flags; ``dump`` exports a model's
 newest valid checkpoint out of the index into the generic torch.save-like
 file format, so checkpoints taken through the zero-copy path remain
-shareable with ordinary framework users; ``stats`` prints the
-observability snapshot (metrics JSON, optionally a Chrome trace) of the
-demo deployment's checkpoint run.
+shareable with ordinary framework users; ``fsck`` / ``repair`` run the
+structural verifier (:mod:`repro.pmem.fsck`) over the whole index and —
+for ``repair`` — apply every safe fix until the device verifies clean;
+``stats`` prints the observability snapshot (metrics JSON, optionally a
+Chrome trace) of the demo deployment's checkpoint run.
 
 The library functions (:func:`view`, :func:`dump`, :func:`dump_to_file`)
 operate on a :class:`~repro.pmem.pool.PmemPool`; the installed ``portusctl``
@@ -27,6 +29,7 @@ from repro.core.repack import repack
 from repro.dnn.serialize import serialize_entries
 from repro.errors import NoValidCheckpoint, ReproError
 from repro.hw.content import Content
+from repro.pmem.fsck import fsck, repair
 from repro.pmem.pool import PmemPool
 from repro.units import fmt_bytes
 
@@ -121,6 +124,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     dump_parser.add_argument("filename",
                              help="host path for the exported checkpoint")
     sub.add_parser("repack", help="reclaim stale checkpoint versions")
+    sub.add_parser(
+        "fsck", help="verify the on-device index (read-only); exits "
+                     "nonzero when findings exist")
+    sub.add_parser(
+        "repair", help="run fsck and apply every safe repair until the "
+                       "device verifies clean")
     stats_parser = sub.add_parser(
         "stats", help="print the demo deployment's metrics snapshot")
     stats_parser.add_argument(
@@ -145,6 +154,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"reclaimed {fmt_bytes(report.bytes_reclaimed)} "
                   f"(compacted {len(report.models_compacted)}, "
                   f"dropped {len(report.models_dropped)})")
+        elif args.command == "fsck":
+            report = fsck(pool, obs=cluster.obs)
+            print(report.describe())
+            return 0 if report.clean else 1
+        elif args.command == "repair":
+            result = repair(pool, obs=cluster.obs)
+            print(result.describe())
+            return 0 if result.clean else 1
         elif args.command == "stats":
             print(cluster.obs.metrics.to_json())
             if args.trace_out is not None:

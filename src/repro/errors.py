@@ -89,6 +89,15 @@ class PoolExhausted(PmemError):
     """The allocator could not satisfy a request."""
 
 
+class PowerFailure(PmemError):
+    """An injected power fault cut a persistence operation short.
+
+    Raised by the crash-point harness from inside a metadata write
+    boundary after the device has been power-failed; the in-progress
+    operation must not complete.
+    """
+
+
 # --- filesystems ----------------------------------------------------------------
 
 

@@ -14,5 +14,7 @@ that touches live simulation objects.
 
 from repro.faults.plan import (FaultEvent, FaultKind, FaultPlan)
 from repro.faults.injector import FaultInjector
+from repro.faults.crashpoints import CrashPointRecorder
 
-__all__ = ["FaultEvent", "FaultKind", "FaultPlan", "FaultInjector"]
+__all__ = ["CrashPointRecorder", "FaultEvent", "FaultKind", "FaultPlan",
+           "FaultInjector"]

@@ -186,6 +186,26 @@ class FaultInjector:
     def power_loss(self) -> None:
         self.cluster.crash_server()
 
+    def arm_crash_point(self, device, crash_at=None):
+        """Install a :class:`~repro.faults.crashpoints.CrashPointRecorder`
+        on *device*: every metadata write boundary is numbered, and with
+        *crash_at* set the whole storage server power-fails at exactly
+        that boundary (the in-progress operation raises
+        :class:`~repro.errors.PowerFailure` and never completes).
+
+        With ``crash_at=None`` the recorder only counts — the counting
+        pass that enumerates a workload's boundary schedule for a sweep.
+        Returns the recorder.
+        """
+        from repro.faults.crashpoints import CrashPointRecorder
+        from repro.faults.plan import FaultEvent, FaultKind
+
+        def power_fail():
+            self.apply(FaultEvent(self.env.now, FaultKind.POWER_LOSS))
+
+        return CrashPointRecorder(device, crash_at=crash_at,
+                                  power_fail=power_fail)
+
     # -- handler shims -----------------------------------------------------------
 
     def _apply_link_down(self, event: FaultEvent) -> None:

@@ -173,6 +173,13 @@ class MemoryDevice:
         # Sorted free list of (addr, size); starts as one hole.
         self._free: List[Tuple[int, int]] = [(0, capacity)]
         self._allocations: Dict[int, Allocation] = {}
+        #: Crash-point instrumentation: when set, the PMem metadata layer
+        #: calls ``crash_hook(point, tag)`` at every persistence write
+        #: boundary (committed-record writes, extent alloc/free).  The
+        #: hook may power-fail the device and raise
+        #: :class:`~repro.errors.PowerFailure` to cut the operation
+        #: short; None (the default) costs nothing.
+        self.crash_hook = None
 
     # -- allocator -------------------------------------------------------------
 

@@ -8,6 +8,7 @@ loss through double-slot committed writes.
 """
 
 from repro.pmem.alloc import AllocRecord, ExtentAllocator
+from repro.pmem.fsck import Finding, FsckReport, RepairResult, fsck, repair
 from repro.pmem.layout import CommittedRecord, pack_blob, unpack_blob
 from repro.pmem.pool import PmemPool
 
@@ -15,7 +16,12 @@ __all__ = [
     "AllocRecord",
     "CommittedRecord",
     "ExtentAllocator",
+    "Finding",
+    "FsckReport",
     "PmemPool",
+    "RepairResult",
+    "fsck",
     "pack_blob",
+    "repair",
     "unpack_blob",
 ]

@@ -101,6 +101,11 @@ class ExtentAllocator:
         self._records[allocation.addr] = AllocRecord(allocation.addr, size,
                                                      tag)
         self._live[allocation.addr] = allocation
+        hook = self.device.crash_hook
+        if hook is not None:
+            # Crash point: device space reserved, table not yet committed
+            # — power loss here leaks the extent (reconcile reclaims it).
+            hook("alloc.commit", tag)
         self._commit()
         return allocation
 
@@ -112,6 +117,11 @@ class ExtentAllocator:
         del self._records[allocation.addr]
         self._live.pop(allocation.addr, None)
         self._commit()
+        hook = self.device.crash_hook
+        if hook is not None:
+            # Crash point: removal committed, device space not yet
+            # released — power loss here leaks (reconcile reclaims).
+            hook("free.release", allocation.tag)
         allocation.free()
 
     def records(self) -> List[AllocRecord]:

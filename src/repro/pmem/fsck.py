@@ -1,0 +1,416 @@
+"""Structural verification of the on-PMem Portus index (``portusctl fsck``).
+
+Walks the whole persistent structure — Superblock → AllocTable →
+ModelTable → per-model metadata (geometry header, VersionFlags, MIndex)
+→ TensorData extents — and reports everything that violates a recovery
+invariant:
+
+* **dangling meta addresses** — a ModelTable entry pointing at space no
+  committed extent backs;
+* **DONE slots that cannot restore** — version address 0, extent
+  missing, extent shorter than the tensor layout needs, or an extent
+  claimed twice;
+* **torn records** — a double-slot record with one slot cut short by
+  power loss (the other slot keeps the data readable);
+* **stale ACTIVE slots** — a checkpoint that was mid-pull at crash time
+  and whose TensorData can no longer be trusted;
+* **leaked extents** — committed Portus-tagged extents no model walk
+  reaches (crash windows in alloc/free orderings leak by design).
+
+:func:`fsck` is read-only; :func:`repair` applies each finding's safe
+repair action (demote untrustworthy slots, unlink missing extents, drop
+dangling entries, rewrite torn slots, free leaks) and re-walks until the
+pool verifies clean.  Repairs only ever *demote or reclaim* — a repair
+never fabricates restorable state, so the newest genuinely-DONE
+checkpoint always survives a repair pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import InvalidAddressError, PmemError, ReproError
+from repro.pmem.layout import CommittedRecord
+from repro.pmem.pool import PmemPool, _SUPER_SLOT
+
+SEV_ERROR = "error"      # breaks recovery or restore correctness
+SEV_WARN = "warning"     # loses redundancy or space, not correctness
+
+#: Finding kinds (stable strings: they key metrics and test assertions).
+K_SUPERBLOCK_TORN = "superblock-torn-slot"
+K_ALLOCTABLE_TORN = "alloctable-torn-slot"
+K_ALLOCTABLE_OVERLAP = "alloctable-overlap"
+K_ALLOC_BACKING_MISSING = "alloc-backing-missing"
+K_TABLE_MISSING = "modeltable-missing"
+K_TABLE_UNREADABLE = "modeltable-unreadable"
+K_TABLE_TORN = "modeltable-torn-slot"
+K_DANGLING_META = "dangling-meta"
+K_META_UNREADABLE = "meta-unreadable"
+K_FLAGS_UNREADABLE = "flags-unreadable"
+K_FLAGS_TORN = "flags-torn-slot"
+K_MINDEX_TORN = "mindex-torn-slot"
+K_STALE_ACTIVE = "stale-active"
+K_DONE_ADDR_ZERO = "done-addr-zero"
+K_VERSION_EXTENT_MISSING = "version-extent-missing"
+K_DONE_EXTENT_SHORT = "done-extent-short"
+K_EXTENT_SHARED = "extent-shared"
+K_LEAKED_EXTENT = "leaked-extent"
+
+
+class Finding:
+    """One invariant violation, with an optional safe repair action."""
+
+    def __init__(self, kind: str, severity: str, detail: str,
+                 model: Optional[str] = None,
+                 repair: Optional[Callable[[], None]] = None) -> None:
+        self.kind = kind
+        self.severity = severity
+        self.detail = detail
+        self.model = model
+        self.repair = repair
+
+    def describe(self) -> str:
+        where = f" [{self.model}]" if self.model else ""
+        fix = "" if self.repair is not None else " (no auto-repair)"
+        return f"{self.severity}: {self.kind}{where}: {self.detail}{fix}"
+
+    def __repr__(self) -> str:
+        return f"<Finding {self.describe()}>"
+
+
+class FsckReport:
+    """Everything one verification pass saw."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self.checked: Dict[str, int] = {"models": 0, "extents": 0,
+                                        "records": 0}
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEV_ERROR]
+
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEV_WARN]
+
+    def kinds(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.kind] = out.get(finding.kind, 0) + 1
+        return out
+
+    def describe(self) -> str:
+        lines = [f"checked {self.checked['models']} models, "
+                 f"{self.checked['extents']} extents, "
+                 f"{self.checked['records']} records"]
+        if self.clean:
+            lines.append("clean: no findings")
+        else:
+            lines.append(f"{len(self.errors())} errors, "
+                         f"{len(self.warnings())} warnings")
+            lines.extend(f.describe() for f in self.findings)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        state = "clean" if self.clean else f"{len(self.findings)} findings"
+        return f"<FsckReport {state}>"
+
+
+class RepairResult:
+    """What :func:`repair` did, plus the final verification report."""
+
+    def __init__(self, actions: List[str], passes: int,
+                 report: FsckReport) -> None:
+        self.actions = actions
+        self.passes = passes
+        self.report = report
+
+    @property
+    def clean(self) -> bool:
+        return self.report.clean
+
+    def describe(self) -> str:
+        lines = [f"repair: {len(self.actions)} actions in "
+                 f"{self.passes} passes"]
+        lines.extend(f"  fixed {action}" for action in self.actions)
+        lines.append("pool verifies clean" if self.clean
+                     else "pool still has findings:\n" +
+                     self.report.describe())
+        return "\n".join(lines)
+
+
+# -- slot-level helpers --------------------------------------------------------
+
+
+def _check_torn_slots(report: FsckReport, record: CommittedRecord,
+                      kind: str, what: str,
+                      model: Optional[str] = None) -> None:
+    """Flag torn slots of a still-readable record; repair rewrites the
+    committed payload (the write lands in the non-newest = torn slot)."""
+    report.checked["records"] += 1
+    committed = record.read()
+    if committed is None:
+        return  # unreadable records are the caller's (severer) finding
+    payload = committed[0]
+    for state in record.slot_states():
+        if state == "torn":
+            report.add(Finding(
+                kind, SEV_WARN,
+                f"{what}: one slot torn, newest generation "
+                f"{committed[1]} intact", model=model,
+                repair=lambda r=record, p=payload: r.write(p)))
+
+
+# -- the walk ------------------------------------------------------------------
+
+
+def fsck(pool: PmemPool, obs=None) -> FsckReport:
+    """Verify every recovery invariant of the index on *pool* (read-only).
+
+    The pool must be open (i.e. already past
+    :meth:`~repro.pmem.pool.PmemPool.open`'s superblock validation and
+    AllocTable reconcile).
+    """
+    from repro.core.index import (DATA_TAG, FLAG_ACTIVE, FLAG_DONE,
+                                  META_TAG, TABLE_TAG, ModelMeta,
+                                  ModelTable, VersionFlags, layout_tensors)
+
+    if pool.closed:
+        raise PmemError("fsck needs an open pool")
+    report = FsckReport()
+    allocator = pool.allocator
+
+    # Level 0: superblock and AllocTable record health.
+    _check_torn_slots(report, CommittedRecord(pool.meta, 0, _SUPER_SLOT),
+                      K_SUPERBLOCK_TORN, "superblock")
+    alloc_payload = allocator._table.read()
+    if alloc_payload is not None:
+        _check_torn_slots(report, allocator._table, K_ALLOCTABLE_TORN,
+                          "AllocTable")
+
+    # AllocTable: every committed extent must be backed and disjoint.
+    records = allocator.records()
+    report.checked["extents"] = len(records)
+    previous = None
+    for record in records:
+        try:
+            backing = pool.device.allocation_at(record.addr)
+        except InvalidAddressError:
+            backing = None
+        if backing is None or backing.addr != record.addr \
+                or backing.size < record.size:
+            report.add(Finding(
+                K_ALLOC_BACKING_MISSING, SEV_ERROR,
+                f"extent {record.tag!r}@{record.addr:#x}+{record.size} "
+                f"has no matching device backing"))
+        if previous is not None \
+                and record.addr < previous.addr + previous.size:
+            report.add(Finding(
+                K_ALLOCTABLE_OVERLAP, SEV_ERROR,
+                f"extents {previous.tag!r}@{previous.addr:#x}+"
+                f"{previous.size} and {record.tag!r}@{record.addr:#x} "
+                f"overlap"))
+        previous = record
+
+    # Level 1: the ModelTable.
+    try:
+        table = ModelTable.open(pool)
+    except PmemError as exc:
+        kind = (K_TABLE_MISSING if "no Portus ModelTable" in str(exc)
+                else K_TABLE_UNREADABLE)
+        report.add(Finding(kind, SEV_ERROR, str(exc)))
+        _count_findings(report, obs)
+        return report
+    table_region = table._record.allocation
+    _check_torn_slots(report, table._record, K_TABLE_TORN, "ModelTable")
+
+    referenced = {table_region.addr}
+    claims: Dict[int, str] = {table_region.addr: "<ModelTable>"}
+
+    def claim(addr: int, who: str) -> bool:
+        """Record *who* references extent *addr*; False on a collision."""
+        if addr in claims and claims[addr] != who:
+            return False
+        claims[addr] = who
+        referenced.add(addr)
+        return True
+
+    # Levels 2+3: per-model metadata and TensorData extents.
+    for name in table.names():
+        report.checked["models"] += 1
+        meta_addr = table.lookup(name)
+        if allocator.lookup(meta_addr) is None:
+            report.add(Finding(
+                K_DANGLING_META, SEV_ERROR,
+                f"table entry points at {meta_addr:#x}, which no "
+                f"committed extent backs", model=name,
+                repair=lambda t=table, n=name: t.remove(n)))
+            continue
+        try:
+            meta = ModelMeta.open(pool, meta_addr, lenient=True)
+        except (ReproError, InvalidAddressError) as exc:
+            report.add(Finding(
+                K_META_UNREADABLE, SEV_ERROR,
+                f"metadata region at {meta_addr:#x} unreadable: {exc}",
+                model=name,
+                repair=lambda t=table, n=name: t.remove(n)))
+            continue
+        claim(meta_addr, f"{name}:meta")
+
+        # Record health: version flags + MIndex.
+        if meta._flags_record.read() is None:
+            report.add(Finding(
+                K_FLAGS_UNREADABLE, SEV_WARN,
+                "version-flags record unreadable; both checkpoint slots "
+                "are lost", model=name,
+                repair=lambda m=meta: m.write_flags(VersionFlags())))
+        else:
+            _check_torn_slots(report, meta._flags_record, K_FLAGS_TORN,
+                              "version flags", model=name)
+        _check_torn_slots(report, meta._mindex_record, K_MINDEX_TORN,
+                          "MIndex", model=name)
+
+        flags = meta.read_flags()
+        needed = layout_tensors(
+            [d.to_spec() for d in meta.mindex.descriptors])[1]
+        for version in (0, 1):
+            state = flags.states[version]
+            step = flags.steps[version]
+            addr = meta.mindex.version_addrs[version]
+            if state == FLAG_ACTIVE:
+                report.add(Finding(
+                    K_STALE_ACTIVE, SEV_WARN,
+                    f"v{version} still ACTIVE (step stamp {step}): a "
+                    f"checkpoint was mid-pull at crash time; its "
+                    f"TensorData cannot be trusted", model=name,
+                    repair=lambda m=meta, v=version: _demote(m, v)))
+            if addr == 0:
+                if state == FLAG_DONE:
+                    report.add(Finding(
+                        K_DONE_ADDR_ZERO, SEV_ERROR,
+                        f"v{version} DONE@{step} but its version "
+                        f"address is 0 (extent reclaimed under a live "
+                        f"flag)", model=name,
+                        repair=lambda m=meta, v=version: _demote(m, v)))
+                continue
+            extent = allocator.lookup(addr)
+            if extent is None:
+                severity = SEV_ERROR if state == FLAG_DONE else SEV_WARN
+                report.add(Finding(
+                    K_VERSION_EXTENT_MISSING, severity,
+                    f"v{version} ({_flag_name(state)}@{step}) points at "
+                    f"{addr:#x}, which no committed extent backs",
+                    model=name,
+                    repair=lambda m=meta, v=version:
+                        _demote_and_unlink(m, v)))
+                continue
+            if not claim(addr, f"{name}:v{version}"):
+                report.add(Finding(
+                    K_EXTENT_SHARED, SEV_ERROR,
+                    f"v{version} claims extent {addr:#x} already owned "
+                    f"by {claims[addr]}", model=name,
+                    repair=lambda m=meta, v=version:
+                        _demote_and_unlink(m, v)))
+                continue
+            if state == FLAG_DONE and extent.size < needed:
+                report.add(Finding(
+                    K_DONE_EXTENT_SHORT, SEV_ERROR,
+                    f"v{version} DONE@{step} extent holds {extent.size} "
+                    f"bytes, layout needs {needed}", model=name,
+                    repair=lambda m=meta, v=version:
+                        _demote_and_unlink(m, v)))
+
+    # Leaks: committed Portus-tagged extents no walk reached.  Foreign
+    # tags (anything not ours) are left alone.
+    for record in records:
+        if record.addr in referenced:
+            continue
+        ours = (record.tag == TABLE_TAG
+                or record.tag.startswith(META_TAG + "/")
+                or record.tag.startswith(DATA_TAG + "/"))
+        if not ours:
+            continue
+        report.add(Finding(
+            K_LEAKED_EXTENT, SEV_WARN,
+            f"extent {record.tag!r}@{record.addr:#x}+{record.size} is "
+            f"unreachable from any model",
+            repair=lambda p=pool, r=record:
+                p.free(p.allocator.allocation_for(r))))
+
+    _count_findings(report, obs)
+    return report
+
+
+def _flag_name(state: int) -> str:
+    from repro.core.index import FLAG_NAMES
+    return FLAG_NAMES.get(state, f"?{state}")
+
+
+def _demote(meta, version: int) -> None:
+    """Invalidate one version slot (EMPTY, step 0); never touches data."""
+    flags = meta.read_flags()
+    flags.states[version] = 0  # FLAG_EMPTY
+    flags.steps[version] = 0
+    meta.write_flags(flags)
+
+
+def _demote_and_unlink(meta, version: int) -> None:
+    """Demote the slot and zero its MIndex address, so recovery stops
+    chasing an extent that is gone; the next attach re-creates it."""
+    _demote(meta, version)
+    addrs = list(meta.mindex.version_addrs)
+    if addrs[version]:
+        addrs[version] = 0
+        meta.mindex.version_addrs = tuple(addrs)
+        regions = list(meta.data_regions)
+        regions[version] = None
+        meta.data_regions = tuple(regions)
+        meta._mindex_record.write(meta.mindex.pack())
+
+
+def _count_findings(report: FsckReport, obs) -> None:
+    if obs is None:
+        return
+    obs.metrics.counter("fsck.runs").inc()
+    for kind, count in report.kinds().items():
+        obs.metrics.counter(f"fsck.findings.{kind}").inc(count)
+
+
+# -- repair --------------------------------------------------------------------
+
+
+def repair(pool: PmemPool, obs=None, max_passes: int = 4) -> RepairResult:
+    """Apply every finding's repair action until the pool verifies clean.
+
+    Repairs cascade (dropping a dangling entry turns its extents into
+    leaks the next pass frees), so the walk re-runs after every pass;
+    *max_passes* bounds pathological pools.  Returns the actions taken
+    and the final report — ``result.clean`` is the contract the
+    crash-point sweep asserts.
+    """
+    actions: List[str] = []
+    passes = 0
+    report = fsck(pool, obs=obs)
+    while not report.clean and passes < max_passes:
+        fixable = [f for f in report.findings if f.repair is not None]
+        if not fixable:
+            break
+        for finding in fixable:
+            finding.repair()
+            actions.append(f"{finding.kind}"
+                           + (f" [{finding.model}]" if finding.model
+                              else ""))
+            if obs is not None:
+                obs.metrics.counter(
+                    f"fsck.repairs.{finding.kind}").inc()
+        passes += 1
+        report = fsck(pool, obs=obs)
+    if obs is not None:
+        obs.metrics.counter("fsck.repair_passes").inc(passes)
+    return RepairResult(actions, passes, report)

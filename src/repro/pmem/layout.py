@@ -108,12 +108,39 @@ class CommittedRecord:
                 best = slot
         return best
 
+    def slot_states(self) -> Tuple[object, object]:
+        """Per-slot health, for integrity tooling (fsck).
+
+        Each slot reports ``("valid", generation)``, ``"empty"`` (all
+        zero bytes — a slot no write ever reached, normal for young
+        records), or ``"torn"`` (unreadable but not blank — a write that
+        power loss cut short).
+        """
+        states = []
+        for index in (0, 1):
+            slot = self._read_slot(index)
+            if slot is not None:
+                states.append(("valid", slot[1]))
+                continue
+            try:
+                raw = self.allocation.read_bytes(self._slot_offset(index),
+                                                 self.slot_size)
+            except ValueError:
+                states.append("torn")  # torn-content materialization
+                continue
+            states.append("empty" if not any(raw) else "torn")
+        return tuple(states)
+
     def write(self, payload: bytes) -> int:
         """Commit *payload* crash-atomically; returns the new generation."""
         if len(payload) > self.max_payload():
             raise PmemError(
                 f"payload of {len(payload)} bytes exceeds slot capacity "
                 f"{self.max_payload()}")
+        hook = self.allocation.device.crash_hook
+        if hook is not None:
+            # Crash point: power loss before the slot write begins.
+            hook("record.write", self.allocation.tag)
         current = self.read()
         if current is None:
             generation, target = 1, 0
@@ -130,5 +157,9 @@ class CommittedRecord:
         frame = pack_blob(payload, generation)
         slot_offset = self._slot_offset(target)
         self.allocation.write(slot_offset, ByteContent(frame))
+        if hook is not None:
+            # Crash point: the frame sits in the store buffer, unflushed
+            # — power loss here loses or tears exactly this slot.
+            hook("record.persist", self.allocation.tag)
         self.allocation.persist(slot_offset, len(frame))
         return generation
