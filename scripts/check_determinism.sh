@@ -12,6 +12,7 @@ cd "$(dirname "$0")/.."
 
 EXAMPLES="${1:-${PORTUS_CHAOS_EXAMPLES:-40}}"
 SEED="${2:-${PORTUS_CHAOS_SEED:-0}}"
+OPS_EXAMPLES="${PORTUS_OPS_EXAMPLES:-$EXAMPLES}"
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT
 
@@ -19,9 +20,11 @@ run() {
     local trace="$1"
     PYTHONPATH=src \
     PORTUS_CHAOS_EXAMPLES="$EXAMPLES" \
+    PORTUS_OPS_EXAMPLES="$OPS_EXAMPLES" \
     PORTUS_CHAOS_SEED="$SEED" \
     CHAOS_TRACE="$trace" \
-        python -m pytest tests/faults/test_chaos_properties.py -q -x \
+        python -m pytest tests/faults/test_chaos_properties.py \
+            tests/faults/test_operator_chaos.py -q -x \
             -p no:cacheprovider >"$trace.log" 2>&1 || {
         echo "chaos suite failed; last lines of $trace.log:" >&2
         tail -20 "$trace.log" >&2

@@ -3,8 +3,9 @@
 #
 #   1. tier-1: the full unit/integration suite (tests/), including the
 #      chaos sweeps at their default 200 schedules and the crash-point
-#      sweep at every boundary; then a `portusctl fsck` smoke — the
-#      demo pool must verify structurally clean;
+#      sweep at every boundary; then the self-healing operator chaos
+#      smoke and `portusctl fsck` / `health` smokes — the demo pool
+#      must verify structurally clean and classify healthy;
 #   2. bench smoke: every benchmark datapath, tiniest config, one
 #      iteration (scripts/bench_smoke.sh);
 #   3. trace smoke: a traced benchmark run must emit loadable Chrome
@@ -20,6 +21,7 @@ cd "$(dirname "$0")/.."
 
 if [[ "${CI_FAST:-0}" != "0" ]]; then
     export PORTUS_CHAOS_EXAMPLES="${PORTUS_CHAOS_EXAMPLES:-20}"
+    export PORTUS_OPS_EXAMPLES="${PORTUS_OPS_EXAMPLES:-10}"
     export PORTUS_TORN_EXAMPLES="${PORTUS_TORN_EXAMPLES:-20}"
     export PORTUS_CRASHPOINT_STRIDE="${PORTUS_CRASHPOINT_STRIDE:-5}"
 fi
@@ -29,8 +31,21 @@ step() { printf '\n=== %s ===\n' "$*"; }
 step "tier-1 test suite"
 PYTHONPATH=src python -m pytest -x -q
 
+step "operator chaos smoke (self-healing, zero manual recovery)"
+PYTHONPATH=src PORTUS_OPS_EXAMPLES="${PORTUS_OPS_EXAMPLES:-20}" \
+    python -m pytest tests/faults/test_operator_chaos.py -x -q
+
 step "portusctl fsck smoke (demo pool must verify clean)"
 PYTHONPATH=src python -m repro.core.portusctl fsck
+
+step "portusctl health + fsck --json smoke"
+PYTHONPATH=src python -m repro.core.portusctl health
+PYTHONPATH=src python -m repro.core.portusctl fsck --json | python -c '
+import json, sys
+report = json.load(sys.stdin)
+assert report["clean"] is True, report
+print("OK: fsck --json clean, checked %s" % report["checked"])
+'
 
 step "benchmark smoke"
 scripts/bench_smoke.sh

@@ -100,6 +100,9 @@ class ModelEntry:
         #: The worker process currently holding the CAS guard, if any —
         #: the interrupt target for lease expiry and daemon death.
         self.inflight = None
+        #: When the CAS guard was taken — the health model's wedge
+        #: detector reads the oldest in-flight age from it.
+        self.inflight_since_ns: Optional[int] = None
 
     @property
     def qp(self):
@@ -312,6 +315,7 @@ class PortusDaemon:
             # The client died or the connection dropped mid-reply; the
             # work is done (or aborted) either way — drop the reply.
             self.dropped_replies += 1
+            self.obs.metrics.counter("daemon.dropped_replies").inc()
 
     def _note_slow(self, op: str, message: Dict, started: int,
                    failed: bool) -> None:
@@ -406,6 +410,7 @@ class PortusDaemon:
                 # no request timeout reaps in-flight work (last resort).
                 continue
             self.reaped_sessions += 1
+            self.obs.metrics.counter("daemon.reaped_sessions").inc()
             qps = entry.qps
             entry.qps = []
             entry.client_tensors = None
@@ -432,10 +437,12 @@ class PortusDaemon:
                 "in flight")
         entry.busy = True
         entry.inflight = self.env.active_process
+        entry.inflight_since_ns = self.env.now
 
     def _release(self, entry: ModelEntry) -> None:
         entry.busy = False
         entry.inflight = None
+        entry.inflight_since_ns = None
 
     # -- REGISTER ------------------------------------------------------------------------
 
@@ -685,13 +692,72 @@ class PortusDaemon:
 
     def _handle_heartbeat(self, message: Dict) -> Generator:
         """Lease renewal (the touch already happened in dispatch; this
-        also validates that the model is still known)."""
+        also validates that the model is still known).  The ack carries
+        the daemon health block — pool utilization, inflight/lease
+        counts, fault counters — so every heartbeating client (and the
+        remediation operator) samples health for free."""
         name = message["model"]
         entry = self._entry(name)
         entry.last_seen_ns = self.env.now
-        return protocol.reply(protocol.OP_HEARTBEAT_ACK, model=name,
-                              attached=entry.attached)
+        return protocol.heartbeat_ack(name, entry.attached,
+                                      health=self.health_snapshot())
         yield  # pragma: no cover - generator protocol
+
+    # -- health ------------------------------------------------------------------------
+
+    def health_snapshot(self) -> Dict:
+        """One machine-readable health sample (what heartbeat acks carry).
+
+        Pure observation: reads DRAM state and monotonic counters, never
+        touches the simulation clock, so sampling health is zero-cost in
+        simulated time.  The :mod:`repro.ops.health` classifier turns a
+        pair of these (current + previous) into a health state.
+        """
+        inflight_ages = [
+            self.env.now - entry.inflight_since_ns
+            for _name, entry in self.model_map.items()
+            if entry.busy and entry.inflight_since_ns is not None
+        ]
+        attached = sum(1 for _name, entry in self.model_map.items()
+                       if entry.attached)
+        if self.pool.closed:
+            used = capacity = 0
+        else:
+            used = self.pool.used_bytes
+            capacity = used + self.pool.free_bytes
+        metrics = self.obs.metrics
+        return {
+            "time_ns": self.env.now,
+            "up": self._started and not self.stopped,
+            "port": self.port,
+            "models": len(self.model_map.keys()),
+            "attached": attached,
+            "inflight": len(inflight_ages),
+            "oldest_inflight_age_ns": max(inflight_ages, default=0),
+            "pool": {
+                "closed": self.pool.closed,
+                "used_bytes": used,
+                "capacity_bytes": capacity,
+                "utilization": used / capacity if capacity else 0.0,
+            },
+            # Monotonic deployment-wide counters (the shared obs registry
+            # survives daemon restarts, so deltas stay meaningful across
+            # a crash/restart boundary).
+            "counters": {
+                "requests": metrics.sum_counters("daemon.requests."),
+                "errors": metrics.sum_counters("daemon.errors."),
+                "slow_requests": metrics.value("daemon.slow_requests"),
+                "checkpoints_completed": metrics.value(
+                    "daemon.checkpoints_completed"),
+                "checkpoints_aborted": metrics.value(
+                    "daemon.checkpoints_aborted"),
+                "restores_completed": metrics.value(
+                    "daemon.restores_completed"),
+                "restores_aborted": metrics.value("daemon.restores_aborted"),
+                "dropped_replies": metrics.value("daemon.dropped_replies"),
+                "reaped_sessions": metrics.value("daemon.reaped_sessions"),
+            },
+        }
 
     # -- LIST ------------------------------------------------------------------------------
 

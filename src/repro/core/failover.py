@@ -5,9 +5,18 @@ The paper's §IV-a baseline snapshots GPU state to host DRAM over PCIe.
 That path needs no network and no storage server, so it is the natural
 degraded mode: after ``failure_threshold`` *consecutive* Portus failures
 the :class:`FailoverCheckpointer` stops burning retry budget on every
-step and snapshots locally instead, probing Portus again at most once
-per ``probe_interval_ns`` (by simply attempting the real checkpoint).
-The first success flips back to the remote path.
+step and snapshots locally instead, probing Portus again (by simply
+attempting the real checkpoint) on a capped exponential backoff with
+seeded jitter — the first probe after ``probe_interval_ns``, each
+failed probe doubling the wait up to ``max_probe_interval_ns``, so a
+fleet of degraded clients does not hammer a daemon the moment it
+restarts.  The first success flips back to the remote path.
+
+The remediation operator (:mod:`repro.ops.operator`) can also drive the
+switch directly: :meth:`force_degrade` parks the checkpointer on the
+local path without burning any probes (the operator *knows* the daemon
+is down), and :meth:`drain_back` releases the hold once the daemon
+verifies healthy, scheduling an immediate probe.
 
 Local snapshots are double-buffered in two DRAM slots — the same
 two-version discipline as the PMem index, so a crash mid-snapshot never
@@ -22,6 +31,7 @@ snapshot only when the remote path is unreachable or empty.
 
 from __future__ import annotations
 
+import random
 from typing import Any, Dict, Generator, Optional
 
 from repro.core.client import ModelSession
@@ -37,22 +47,44 @@ class FailoverCheckpointer:
 
     def __init__(self, env: Environment, session: ModelSession, node: Node,
                  failure_threshold: int = 3,
-                 probe_interval_ns: int = msecs(2)) -> None:
+                 probe_interval_ns: int = msecs(2),
+                 probe_backoff_factor: float = 2.0,
+                 max_probe_interval_ns: Optional[int] = None,
+                 probe_jitter: float = 0.1,
+                 rng: Optional[random.Random] = None) -> None:
         if failure_threshold < 1:
             raise ValueError(
                 f"failure_threshold must be >= 1, got {failure_threshold}")
+        if probe_backoff_factor < 1.0:
+            raise ValueError(f"probe_backoff_factor must be >= 1, "
+                             f"got {probe_backoff_factor}")
+        if not 0 <= probe_jitter < 1:
+            raise ValueError(
+                f"probe_jitter must be in [0, 1), got {probe_jitter}")
         self.env = env
         self.session = session
         self.node = node
         self.failure_threshold = failure_threshold
         self.probe_interval_ns = probe_interval_ns
+        self.probe_backoff_factor = float(probe_backoff_factor)
+        self.max_probe_interval_ns = (
+            max_probe_interval_ns if max_probe_interval_ns is not None
+            else 16 * probe_interval_ns)
+        self.probe_jitter = float(probe_jitter)
+        self.rng = rng if rng is not None else random.Random(0)
         self.degraded = False
         self.consecutive_failures = 0
         self.last_failure: Optional[BaseException] = None
         self.portus_checkpoints = 0
         self.local_checkpoints = 0
         self.resumes = 0
-        self._last_probe_ns: Optional[int] = None
+        self.forced_degrades = 0
+        self.drains = 0
+        #: Operator hold: while True the checkpointer never probes — the
+        #: operator knows the daemon is down and will :meth:`drain_back`.
+        self.operator_hold = False
+        self._probe_failures = 0
+        self._next_probe_ns: Optional[int] = None
         # Two DRAM slots, allocated lazily on first degraded checkpoint.
         self._slots = [None, None]
         self._newest_slot: Optional[int] = None
@@ -70,27 +102,70 @@ class FailoverCheckpointer:
         if step is None:
             step = model.step
         now = self.env.now
-        if self.degraded and not self._should_probe(now):
+        if self.degraded and (self.operator_hold
+                              or not self._should_probe(now)):
             return (yield from self._local_checkpoint(step))
         try:
             reply = yield from self.session.checkpoint(step)
         except RETRYABLE_FAULTS as exc:
             self.consecutive_failures += 1
             self.last_failure = exc
-            self._last_probe_ns = now
             if self.consecutive_failures >= self.failure_threshold:
                 self.degraded = True
+            if self.degraded:
+                # Each failed probe backs the next one off further, so
+                # a recovering daemon faces a trickle, not a stampede.
+                self._probe_failures += 1
+                self._schedule_next_probe(self.env.now)
             return (yield from self._local_checkpoint(step))
         if self.degraded:
             self.degraded = False
             self.resumes += 1
         self.consecutive_failures = 0
+        self._probe_failures = 0
+        self._next_probe_ns = None
         self.portus_checkpoints += 1
         return {"path": "portus", "step": step, "reply": reply}
 
     def _should_probe(self, now: int) -> bool:
-        return (self._last_probe_ns is None
-                or now - self._last_probe_ns >= self.probe_interval_ns)
+        return self._next_probe_ns is None or now >= self._next_probe_ns
+
+    def _schedule_next_probe(self, now: int) -> None:
+        """Capped exponential backoff with seeded jitter: probe number
+        k+1 waits ``probe_interval * factor**k`` (capped), smeared by
+        ±``probe_jitter`` so degraded clients desynchronize."""
+        exponent = max(0, self._probe_failures - 1)
+        backoff = min(
+            self.probe_interval_ns * self.probe_backoff_factor ** exponent,
+            float(self.max_probe_interval_ns))
+        if self.probe_jitter:
+            backoff *= 1.0 + self.probe_jitter * (2.0 * self.rng.random()
+                                                  - 1.0)
+        self._next_probe_ns = now + max(1, int(backoff))
+
+    # -- operator hooks -----------------------------------------------------------
+
+    def force_degrade(self, reason: str = "operator") -> None:
+        """Operator-driven degradation: park on the local DRAM path and
+        stop probing entirely until :meth:`drain_back` — the operator
+        has authoritative knowledge that the daemon is down, so probes
+        would only burn retry budget."""
+        if not self.operator_hold:
+            self.forced_degrades += 1
+        self.degraded = True
+        self.operator_hold = True
+        self._hold_reason = reason
+
+    def drain_back(self) -> None:
+        """Operator-driven recovery: release the hold and schedule an
+        immediate probe, so the next checkpoint returns to Portus (and
+        thereby re-covers the local-only steps with a durable one)."""
+        if not self.operator_hold:
+            return
+        self.operator_hold = False
+        self._probe_failures = 0
+        self._next_probe_ns = None
+        self.drains += 1
 
     def _local_checkpoint(self, step: int) -> Generator:
         """Process: the §IV-a path — GPU → host DRAM over PCIe, into the

@@ -8,7 +8,14 @@ shareable with ordinary framework users; ``fsck`` / ``repair`` run the
 structural verifier (:mod:`repro.pmem.fsck`) over the whole index and —
 for ``repair`` — apply every safe fix until the device verifies clean;
 ``stats`` prints the observability snapshot (metrics JSON, optionally a
-Chrome trace) of the demo deployment's checkpoint run.
+Chrome trace) of the demo deployment's checkpoint run; ``health``
+heartbeats the daemon and prints the aggregated health classification
+(:mod:`repro.ops.health`) from the reply's health block.
+
+``fsck`` and ``repair`` take ``--json`` for machine-readable reports
+with a distinct exit-code contract: 0 = clean (nothing found / nothing
+to do), 1 = dirty (findings remain), 2 = repaired (repair fixed
+findings and the device now verifies clean).
 
 The library functions (:func:`view`, :func:`dump`, :func:`dump_to_file`)
 operate on a :class:`~repro.pmem.pool.PmemPool`; the installed ``portusctl``
@@ -20,6 +27,7 @@ dumped checkpoint to a real host file.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, Generator, List, Optional
 
@@ -29,7 +37,7 @@ from repro.core.repack import repack
 from repro.dnn.serialize import serialize_entries
 from repro.errors import NoValidCheckpoint, ReproError
 from repro.hw.content import Content
-from repro.pmem.fsck import fsck, repair
+from repro.pmem.fsck import EXIT_CLEAN, EXIT_DIRTY, fsck, repair
 from repro.pmem.pool import PmemPool
 from repro.units import fmt_bytes
 
@@ -111,6 +119,23 @@ def _demo_pool(tracing: bool = False):
     return cluster, pool
 
 
+def poll_health(cluster) -> Dict:
+    """Heartbeat the daemon through a live session and return the health
+    block its ack carries (the same sample the remediation operator
+    classifies)."""
+    result: Dict = {}
+
+    def scenario(env):
+        client = cluster.portus_client()
+        if not client.sessions:
+            return
+        reply = yield from client.sessions[0].heartbeat()
+        result.update(reply.get("health") or {})
+
+    cluster.run(scenario)
+    return result
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="portusctl",
@@ -124,12 +149,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     dump_parser.add_argument("filename",
                              help="host path for the exported checkpoint")
     sub.add_parser("repack", help="reclaim stale checkpoint versions")
-    sub.add_parser(
+    fsck_parser = sub.add_parser(
         "fsck", help="verify the on-device index (read-only); exits "
-                     "nonzero when findings exist")
-    sub.add_parser(
+                     "0 clean, 1 dirty")
+    fsck_parser.add_argument("--json", action="store_true",
+                             help="machine-readable report")
+    repair_parser = sub.add_parser(
         "repair", help="run fsck and apply every safe repair until the "
-                       "device verifies clean")
+                       "device verifies clean; exits 0 nothing-to-do, "
+                       "1 still dirty, 2 repaired")
+    repair_parser.add_argument("--json", action="store_true",
+                               help="machine-readable report")
+    health_parser = sub.add_parser(
+        "health", help="heartbeat the daemon and print the aggregated "
+                       "health classification; exits 0 healthy")
+    health_parser.add_argument("--json", action="store_true",
+                               help="machine-readable snapshot")
     stats_parser = sub.add_parser(
         "stats", help="print the demo deployment's metrics snapshot")
     stats_parser.add_argument(
@@ -156,12 +191,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"dropped {len(report.models_dropped)})")
         elif args.command == "fsck":
             report = fsck(pool, obs=cluster.obs)
-            print(report.describe())
-            return 0 if report.clean else 1
+            print(json.dumps(report.to_dict(), indent=2) if args.json
+                  else report.describe())
+            return EXIT_CLEAN if report.clean else EXIT_DIRTY
         elif args.command == "repair":
             result = repair(pool, obs=cluster.obs)
-            print(result.describe())
-            return 0 if result.clean else 1
+            print(json.dumps(result.to_dict(), indent=2) if args.json
+                  else result.describe())
+            return result.exit_code
+        elif args.command == "health":
+            from repro.ops.health import classify, format_health
+
+            sample = poll_health(cluster)
+            state, reasons = classify(sample or None)
+            if args.json:
+                print(json.dumps({"state": state, "reasons": reasons,
+                                  "sample": sample}, indent=2))
+            else:
+                print(format_health(state, reasons, sample))
+            return 0 if state == "healthy" else 1
         elif args.command == "stats":
             print(cluster.obs.metrics.to_json())
             if args.trace_out is not None:

@@ -95,6 +95,24 @@ def heartbeat(model_name: str) -> Tuple[Dict[str, Any], int]:
     return {"op": OP_HEARTBEAT, "model": model_name}, 64
 
 
+#: Wire bytes the health block adds to a heartbeat reply: pool
+#: utilization, inflight/lease counts, and the fault counters — the
+#: operator's raw detect signal (a handful of packed u64s).
+_HEALTH_SIZE = 160
+
+
+def heartbeat_ack(model_name: str, attached: bool,
+                  health: Dict[str, Any] = None) -> Tuple[Dict[str, Any], int]:
+    """Heartbeat reply, optionally carrying the daemon health block."""
+    message = {"op": OP_HEARTBEAT_ACK, "model": model_name,
+               "attached": attached}
+    size = 64
+    if health is not None:
+        message["health"] = health
+        size += _HEALTH_SIZE
+    return message, size
+
+
 def reply(op: str, **fields: Any) -> Tuple[Dict[str, Any], int]:
     message = {"op": op}
     message.update(fields)

@@ -25,6 +25,11 @@ Injection primitives and what they model:
   (PMem intact) and its successor recovering the index on the same port.
 * ``power_loss`` — the storage server loses power: unflushed PMem is
   lost or torn, the daemon dies with the machine.
+* ``corrupt_pool`` — structural index damage (bit rot, buggy firmware,
+  fat-fingered tooling): a stale ACTIVE slot, torn version flags, or a
+  leaked extent appears.  Damage only ever lands on *non-newest* state,
+  matching what fsck can safely repair — the newest DONE checkpoint is
+  never touched, so the chaos contract (newest acked restorable) holds.
 """
 
 from __future__ import annotations
@@ -64,7 +69,9 @@ class FaultInjector:
             FaultKind.DAEMON_CRASH: self._apply_daemon_crash,
             FaultKind.DAEMON_RESTART: self._apply_daemon_restart,
             FaultKind.POWER_LOSS: self._apply_power_loss,
+            FaultKind.POOL_CORRUPT: self._apply_pool_corrupt,
         }
+        self._leaks_injected = 0
 
     # -- plan execution ----------------------------------------------------------
 
@@ -186,6 +193,73 @@ class FaultInjector:
     def power_loss(self) -> None:
         self.cluster.crash_server()
 
+    def corrupt_pool(self, mode: str) -> bool:
+        """Plant structural damage of *mode* in the live pool; returns
+        False (skipped) when the pool is closed or has nothing to hit.
+
+        Modes and the fsck finding each produces:
+
+        * ``"leak"`` — commit a Portus-tagged extent no model reaches
+          (``leaked-extent``);
+        * ``"torn-flags"`` — scribble garbage over the *stale* slot of a
+          model's version-flags record (``flags-torn-slot``; the newest
+          generation stays readable, exactly like a torn write);
+        * ``"stale-active"`` — flip a model's non-newest version slot to
+          ACTIVE (``stale-active``: looks like a pull that died
+          mid-flight without cleanup).
+
+        Damage is confined to non-newest state on purpose: these are the
+        corruptions fsck repairs by demoting/reclaiming, so an operator
+        that runs repair converges without losing the newest committed
+        checkpoint.
+        """
+        from repro.core.index import (DATA_TAG, FLAG_ACTIVE, ModelMeta,
+                                      ModelTable)
+        from repro.errors import PmemError
+        from repro.hw.content import ByteContent
+
+        pool = self.cluster.portus_pool
+        if pool.closed:
+            return False
+        if mode == "leak":
+            self._leaks_injected += 1
+            pool.alloc(4096,
+                       tag=f"{DATA_TAG}/chaos-leak-{self._leaks_injected}")
+            return True
+        try:
+            table = ModelTable.open(pool)
+        except PmemError:
+            return False
+        names = sorted(table.names())
+        if not names:
+            return False
+        rng = self.rand.stream("faults.pool_corrupt")
+        name = names[rng.randrange(len(names))]
+        meta = ModelMeta.open(pool, table.lookup(name), lenient=True)
+        record = meta._flags_record
+        committed = record.read()
+        if committed is None:
+            return False
+        if mode == "torn-flags":
+            # The slot NOT holding the newest generation takes the hit.
+            stale = 0
+            for index in (0, 1):
+                slot = record._read_slot(index)
+                if slot is not None and slot[1] == committed[1]:
+                    stale = 1 - index
+            record.allocation.write(record._slot_offset(stale),
+                                    ByteContent(b"\xde\xad\xbe\xef" * 12))
+            return True
+        if mode == "stale-active":
+            flags = meta.read_flags()
+            victim = flags.checkpoint_target()
+            if flags.states[victim] == FLAG_ACTIVE:
+                return False  # a pull is mid-flight there; leave it
+            flags.states[victim] = FLAG_ACTIVE
+            meta.write_flags(flags)
+            return True
+        raise ReproError(f"unknown pool corruption mode {mode!r}")
+
     def arm_crash_point(self, device, crash_at=None):
         """Install a :class:`~repro.faults.crashpoints.CrashPointRecorder`
         on *device*: every metadata write boundary is numbered, and with
@@ -236,6 +310,11 @@ class FaultInjector:
 
     def _apply_power_loss(self, _event: FaultEvent) -> None:
         self.power_loss()
+
+    def _apply_pool_corrupt(self, event: FaultEvent) -> None:
+        applied = self.corrupt_pool(event.params.get("mode", "leak"))
+        if not applied:
+            self.obs.metrics.counter("faults.pool_corrupt_skipped").inc()
 
     # -- lookup ------------------------------------------------------------------
 

@@ -42,9 +42,14 @@ class FaultKind:
     #: Power loss on the storage server: unflushed PMem is lost or torn
     #: and the daemon dies with the machine.
     POWER_LOSS = "power_loss"
+    #: Structural damage to the PMem index (bit rot, a buggy firmware
+    #: write, an operator fat-finger): a stale slot, torn flags, or a
+    #: leaked extent appears in the pool.  Only ``pmem.fsck`` notices.
+    POOL_CORRUPT = "pool_corrupt"
 
     ALL = (LINK_DOWN, LINK_UP, WR_FAULT_RATE, QP_ERROR, TCP_DROP,
-           CLIENT_KILL, DAEMON_CRASH, DAEMON_RESTART, POWER_LOSS)
+           CLIENT_KILL, DAEMON_CRASH, DAEMON_RESTART, POWER_LOSS,
+           POOL_CORRUPT)
 
 
 class FaultEvent:
@@ -133,7 +138,9 @@ class FaultPlan:
                clients: Sequence[str] = ("volta",),
                allow_power_loss: bool = True,
                allow_daemon_faults: bool = True,
-               max_wr_rate: float = 0.3) -> "FaultPlan":
+               max_wr_rate: float = 0.3,
+               auto_recover_daemon: bool = True,
+               allow_pool_corrupt: bool = False) -> "FaultPlan":
         """A randomized but *well-formed* schedule.
 
         Well-formed means faults that need an undo get one: a link that
@@ -142,6 +149,15 @@ class FaultPlan:
         horizon, so a retrying client can always eventually make
         progress.  Every draw comes from *rng*, so the same seed yields
         the same plan, byte for byte.
+
+        With ``auto_recover_daemon=False`` crashed/power-lost daemons
+        get **no** paired restart — the schedule leaves the deployment
+        broken on purpose, and recovering it is somebody else's job (the
+        remediation operator's, in the self-healing chaos sweeps).
+        ``allow_pool_corrupt`` adds :data:`FaultKind.POOL_CORRUPT`
+        events (stale-active / torn-flags / leaked-extent damage) to the
+        draw, which likewise only fsck — and hence the operator — can
+        undo.
         """
         kinds = [FaultKind.LINK_DOWN, FaultKind.WR_FAULT_RATE,
                  FaultKind.QP_ERROR, FaultKind.TCP_DROP]
@@ -149,6 +165,8 @@ class FaultPlan:
             kinds.append(FaultKind.DAEMON_CRASH)
         if allow_power_loss:
             kinds.append(FaultKind.POWER_LOSS)
+        if allow_pool_corrupt:
+            kinds.append(FaultKind.POOL_CORRUPT)
         plan = cls()
         for _ in range(events):
             at_ns = rng.randrange(1, max(2, horizon_ns))
@@ -172,11 +190,16 @@ class FaultPlan:
             elif kind == FaultKind.TCP_DROP:
                 plan.at(at_ns, FaultKind.TCP_DROP, "server")
             elif kind == FaultKind.DAEMON_CRASH:
-                downtime = rng.randrange(usecs(100), msecs(3))
                 plan.at(at_ns, FaultKind.DAEMON_CRASH)
-                plan.at(at_ns + downtime, FaultKind.DAEMON_RESTART)
+                if auto_recover_daemon:
+                    downtime = rng.randrange(usecs(100), msecs(3))
+                    plan.at(at_ns + downtime, FaultKind.DAEMON_RESTART)
             elif kind == FaultKind.POWER_LOSS:
-                downtime = rng.randrange(usecs(200), msecs(3))
                 plan.at(at_ns, FaultKind.POWER_LOSS)
-                plan.at(at_ns + downtime, FaultKind.DAEMON_RESTART)
+                if auto_recover_daemon:
+                    downtime = rng.randrange(usecs(200), msecs(3))
+                    plan.at(at_ns + downtime, FaultKind.DAEMON_RESTART)
+            elif kind == FaultKind.POOL_CORRUPT:
+                mode = rng.choice(("stale-active", "torn-flags", "leak"))
+                plan.at(at_ns, FaultKind.POOL_CORRUPT, mode=mode)
         return plan

@@ -106,6 +106,8 @@ class PaperCluster:
 
         self._portus_clients: Dict[str, PortusClient] = {}
         self._model_counter = 0
+        #: The self-healing loop, once :meth:`enable_operator` runs.
+        self.operator = None
 
     # -- process helpers -------------------------------------------------------------
 
@@ -164,6 +166,15 @@ class PaperCluster:
         client = self.portus_client(node)
         session = yield from client.register(instance)
         return session
+
+    def enable_operator(self, **kwargs):
+        """Start the self-healing remediation operator for this cluster
+        (detect → diagnose → remediate → verify; see
+        :class:`repro.ops.operator.RemediationOperator`)."""
+        from repro.ops.operator import RemediationOperator
+        self.operator = RemediationOperator(self.env, self, **kwargs)
+        self.operator.start()
+        return self.operator
 
     def restart_daemon(self, port: Optional[int] = None) -> None:
         """Kill and restart the daemon process: the old instance's

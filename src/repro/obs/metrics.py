@@ -178,6 +178,23 @@ class MetricsRegistry:
         """The instrument registered under *name*, or None."""
         return self._instruments.get(name)
 
+    def value(self, name: str, default: int = 0) -> int:
+        """Current value of the counter/gauge under *name* (*default*
+        when absent) — the health model reads counters this way so a
+        metric nobody incremented yet reads as zero, not a KeyError."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            return default
+        return getattr(instrument, "value", default)
+
+    def sum_counters(self, prefix: str) -> int:
+        """Sum of every :class:`Counter` whose name starts with *prefix*
+        (e.g. all ``daemon.errors.*`` ops folded into one fault count)."""
+        return sum(instrument.value
+                   for name, instrument in self._instruments.items()
+                   if name.startswith(prefix)
+                   and isinstance(instrument, Counter))
+
     def names(self):
         return sorted(self._instruments)
 

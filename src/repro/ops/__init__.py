@@ -1,0 +1,39 @@
+"""Self-healing operations: health model, remediation operator, policy.
+
+The datapath (core/), fault harness (faults/), observability (obs/) and
+recovery verifier (pmem/fsck) give the deployment everything it needs to
+*survive* faults — but until now every recovery action (fsck/repair,
+daemon restart, DRAM failover) was invoked by hand.  This package closes
+the loop:
+
+* :mod:`repro.ops.health` — turns daemon heartbeat health blocks into
+  one of five states (healthy / degraded / wedged / corrupt / down);
+* :mod:`repro.ops.operator` — a detect → diagnose → remediate → verify
+  loop (a sim process, like the daemon's lease reaper) that applies the
+  remediation matrix with rate limiting, escalation, and a
+  flap-detecting circuit breaker;
+* :mod:`repro.ops.policy` — the adaptive checkpoint-interval controller
+  (Young/Daly optimum from measured MTBF and checkpoint cost).
+"""
+
+from repro.ops.health import (H_CORRUPT, H_DEGRADED, H_DOWN,  # noqa: F401
+                              H_HEALTHY, H_WEDGED, STATES,
+                              HealthThresholds, classify, overlay_fsck)
+from repro.ops.operator import RemediationOperator  # noqa: F401
+from repro.ops.policy import (AdaptiveIntervalController,  # noqa: F401
+                              expected_overhead)
+
+__all__ = [
+    "AdaptiveIntervalController",
+    "H_CORRUPT",
+    "H_DEGRADED",
+    "H_DOWN",
+    "H_HEALTHY",
+    "H_WEDGED",
+    "HealthThresholds",
+    "RemediationOperator",
+    "STATES",
+    "classify",
+    "expected_overhead",
+    "overlay_fsck",
+]

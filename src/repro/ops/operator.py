@@ -1,0 +1,288 @@
+"""The auto-remediation operator: detect → diagnose → remediate → verify.
+
+A :class:`RemediationOperator` is a simulation process (like the
+daemon's lease reaper) that wakes every ``interval_ns``, pulls the
+daemon's health block (the same dict heartbeat acks carry), classifies
+it with :mod:`repro.ops.health`, overlays a read-only fsck when the pool
+is quiescent, and applies the remediation matrix:
+
+========  ============================================  ================
+state     remediation                                   verification
+========  ============================================  ================
+down      force clients onto the DRAM failover path,    successor
+          restart the daemon on its old port            reports ``up``
+wedged    same as down — only a restart releases a      successor
+          stuck CAS guard                               reports ``up``
+corrupt   ``pmem.fsck.repair`` (only while no request   repair re-walk
+          is in flight — never demote a live ACTIVE     verifies clean
+          slot mid-pull)
+degraded  steer clients onto the failover path; if      health clears
+          degradation persists, escalate to a restart   within
+                                                        ``escalate_after``
+healthy   drain held clients back to Portus             next probe takes
+                                                        the portus path
+========  ============================================  ================
+
+Guard rails, because an operator that flaps is worse than none:
+
+* **one action per tick** — remediations are serialized, never stacked;
+* **per-action cooldown** — the same action is not repeated within
+  ``cooldown_ns`` even if the state still looks bad (recovery takes
+  time to show up in the counters);
+* **circuit breaker** — more than ``breaker_limit`` recovery actions
+  inside ``breaker_window_ns`` means the remediation itself is flapping
+  (crash loop, repair that does not stick); the breaker opens and the
+  operator sits out ``breaker_cooldown_ns`` before trying again;
+* **escalation counter** — ``escalations`` counts remediations whose
+  verification failed; it never stops the loop (the chaos contract is
+  zero manual intervention) but it is the operator's cry for help.
+
+Every decision appends one line to :attr:`decisions` — pure function of
+sampled state and the sim clock, so two runs of the same seed produce
+bit-identical decision logs (the chaos determinism contract).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.ops.health import (H_CORRUPT, H_DEGRADED, H_DOWN, H_HEALTHY,
+                              H_WEDGED, HealthThresholds, classify,
+                              overlay_fsck)
+from repro.pmem.fsck import fsck, repair
+from repro.sim import Environment
+from repro.units import msecs
+
+#: Remediation actions (stable strings: they key metrics, the decision
+#: log, and test assertions).
+A_RESTART = "restart-daemon"
+A_REPAIR = "fsck-repair"
+A_DEGRADE = "force-degrade"
+A_DRAIN = "drain-back"
+A_NONE = "none"
+A_COOLDOWN = "cooldown"
+A_BREAKER = "breaker-open"
+
+#: Actions that count toward the cooldown/breaker budget (drain-back is
+#: benign — it only releases a hold — and is never rate limited).
+RECOVERY_ACTIONS = (A_RESTART, A_REPAIR, A_DEGRADE)
+
+
+class RemediationOperator:
+    """The self-healing loop for one :class:`PaperCluster` deployment."""
+
+    def __init__(self, env: Environment, cluster,
+                 interval_ns: int = msecs(1),
+                 thresholds: Optional[HealthThresholds] = None,
+                 cooldown_ns: Optional[int] = None,
+                 breaker_window_ns: Optional[int] = None,
+                 breaker_limit: int = 4,
+                 breaker_cooldown_ns: Optional[int] = None,
+                 escalate_after: int = 3,
+                 controller=None) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.obs = cluster.obs
+        self.interval_ns = interval_ns
+        self.thresholds = thresholds or HealthThresholds()
+        self.cooldown_ns = (cooldown_ns if cooldown_ns is not None
+                            else 3 * interval_ns)
+        self.breaker_window_ns = (breaker_window_ns
+                                  if breaker_window_ns is not None
+                                  else 20 * interval_ns)
+        self.breaker_limit = breaker_limit
+        self.breaker_cooldown_ns = (breaker_cooldown_ns
+                                    if breaker_cooldown_ns is not None
+                                    else 40 * interval_ns)
+        self.escalate_after = escalate_after
+        #: Optional :class:`~repro.ops.policy.AdaptiveIntervalController`
+        #: fed one observe_failure() per daemon death/wedge remediated.
+        self.controller = controller
+        if controller is not None:
+            controller.observe_start(env.now)
+        #: FailoverCheckpointers this operator steers (force/drain).
+        self.failovers: List = []
+        #: The deterministic decision log: one line per tick.
+        self.decisions: List[str] = []
+        self.ticks = 0
+        self.restarts = 0
+        self.repairs = 0
+        self.degrades = 0
+        self.drains = 0
+        self.escalations = 0
+        self.breaker_trips = 0
+        self.last_state = H_HEALTHY
+        self.last_reasons: List[str] = []
+        self.last_fsck_clean = True
+        self.stopped = True
+        self._previous_sample: Optional[Dict] = None
+        self._last_action_ns: Dict[str, int] = {}
+        self._recent_action_ns: List[int] = []
+        self._breaker_open_until: Optional[int] = None
+        self._degraded_streak = 0
+        self._unverified_streak = 0
+        self._process = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "RemediationOperator":
+        if not self.stopped:
+            return self
+        self.stopped = False
+        self._process = self.env.process(self._loop())
+        return self
+
+    def stop(self) -> None:
+        self.stopped = True
+
+    def register_failover(self, checkpointer) -> None:
+        """Give the operator the steering wheel for one client."""
+        self.failovers.append(checkpointer)
+
+    def _loop(self) -> Generator:
+        from repro.errors import ReproError
+
+        while not self.stopped:
+            yield self.env.timeout(self.interval_ns)
+            if self.stopped:
+                return
+            try:
+                self.tick()
+            except ReproError as exc:
+                # A remediation can itself die mid-flight (e.g. power
+                # loss at a metadata boundary during the restart's pool
+                # recovery).  The operator must outlive its own failed
+                # medicine: log, count, and try again next tick.
+                self.decisions.append(
+                    f"{self.env.now}ns tick-failed "
+                    f"{type(exc).__name__}: {exc}")
+                self.obs.metrics.counter("ops.tick_errors").inc()
+
+    # -- detect → diagnose --------------------------------------------------------
+
+    def tick(self) -> str:
+        """One detect → diagnose → remediate → verify round.  Returns
+        the action taken (one of the ``A_*`` constants)."""
+        self.ticks += 1
+        self.obs.metrics.counter("ops.ticks").inc()
+        sample = self.cluster.daemon.health_snapshot()
+        state, reasons = classify(sample, self._previous_sample,
+                                  self.thresholds)
+        pool = self.cluster.portus_pool
+        if (state != H_DOWN and not pool.closed
+                and sample.get("inflight", 0) == 0):
+            # A quiescent pool gets a structural verification pass.
+            # Never while a pull is in flight: its ACTIVE slot is
+            # legitimate work, not damage to demote.
+            report = fsck(pool, obs=self.obs)
+            self.last_fsck_clean = report.clean
+            state, reasons = overlay_fsck(state, reasons, report)
+        self._previous_sample = sample
+        self.last_state = state
+        self.last_reasons = reasons
+        action = self._remediate(state)
+        self.decisions.append(
+            f"{self.env.now}ns state={state} action={action}"
+            + (f" reasons=[{'; '.join(reasons)}]" if reasons else ""))
+        return action
+
+    @property
+    def converged(self) -> bool:
+        """True once the deployment verifies healthy: last classified
+        state healthy, last quiescent fsck clean, no client held."""
+        return (self.last_state == H_HEALTHY and self.last_fsck_clean
+                and not any(fc.operator_hold for fc in self.failovers))
+
+    # -- remediate → verify -------------------------------------------------------
+
+    def _remediate(self, state: str) -> str:
+        now = self.env.now
+        if state == H_HEALTHY:
+            self._degraded_streak = 0
+            self._unverified_streak = 0
+            if any(fc.operator_hold for fc in self.failovers) \
+                    and self.last_fsck_clean:
+                for fc in self.failovers:
+                    fc.drain_back()
+                self.drains += 1
+                self.obs.metrics.counter("ops.remediations.drain").inc()
+                return A_DRAIN
+            return A_NONE
+
+        if self._breaker_open_until is not None:
+            if now < self._breaker_open_until:
+                return A_BREAKER
+            self._breaker_open_until = None
+            self._recent_action_ns = []
+
+        if state in (H_DOWN, H_WEDGED):
+            self._degraded_streak = 0
+            return self._gated(A_RESTART, now,
+                               lambda: self._act_restart(state))
+        if state == H_CORRUPT:
+            self._degraded_streak = 0
+            return self._gated(A_REPAIR, now, self._act_repair)
+
+        # Degraded: steer clients local first; a daemon that stays
+        # degraded despite that gets the bigger hammer.
+        self._degraded_streak += 1
+        if self._degraded_streak > self.escalate_after:
+            return self._gated(A_RESTART, now,
+                               lambda: self._act_restart(state))
+        if any(not fc.operator_hold for fc in self.failovers):
+            return self._gated(A_DEGRADE, now, self._act_degrade)
+        return A_NONE
+
+    def _gated(self, action: str, now: int, act) -> str:
+        """Cooldown + circuit-breaker gate around one recovery action."""
+        last = self._last_action_ns.get(action)
+        if last is not None and now - last < self.cooldown_ns:
+            return A_COOLDOWN
+        window_start = now - self.breaker_window_ns
+        self._recent_action_ns = [t for t in self._recent_action_ns
+                                  if t > window_start]
+        if len(self._recent_action_ns) >= self.breaker_limit:
+            self._breaker_open_until = now + self.breaker_cooldown_ns
+            self.breaker_trips += 1
+            self.obs.metrics.counter("ops.breaker_open").inc()
+            return A_BREAKER
+        self._last_action_ns[action] = now
+        self._recent_action_ns.append(now)
+        self.obs.metrics.counter(f"ops.remediations.{action}").inc()
+        verified = act()
+        if verified:
+            self._unverified_streak = 0
+        else:
+            self._unverified_streak += 1
+            if self._unverified_streak >= self.escalate_after:
+                self.escalations += 1
+                self.obs.metrics.counter("ops.escalations").inc()
+                self._unverified_streak = 0
+        return action
+
+    def _act_restart(self, state: str) -> bool:
+        """Park every client on the DRAM path, restart the daemon on
+        its old port (pool re-open + index recovery), verify the
+        successor is serving."""
+        for fc in self.failovers:
+            fc.force_degrade(reason=f"daemon {state}")
+        self.cluster.restart_daemon()
+        self.restarts += 1
+        if self.controller is not None:
+            self.controller.observe_failure(self.env.now)
+        sample = self.cluster.daemon.health_snapshot()
+        return bool(sample.get("up"))
+
+    def _act_repair(self) -> bool:
+        """Structural repair; verification is repair's own re-walk."""
+        result = repair(self.cluster.portus_pool, obs=self.obs)
+        self.repairs += 1
+        self.last_fsck_clean = result.clean
+        return result.clean
+
+    def _act_degrade(self) -> bool:
+        """Hold every client on the DRAM path until health clears."""
+        for fc in self.failovers:
+            fc.force_degrade(reason="daemon degraded")
+        self.degrades += 1
+        return all(fc.operator_hold for fc in self.failovers)

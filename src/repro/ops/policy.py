@@ -1,0 +1,133 @@
+"""Adaptive checkpoint-interval policy: spend checkpoint overhead where
+failures actually are.
+
+The CheckFreq-style baseline (:mod:`repro.baselines.checkfreq`) picks the
+highest frequency whose overhead fits a budget — it never looks at how
+often the deployment *fails*, so it checkpoints a stable cluster exactly
+as hard as a flaky one.  The classic result (Young 1974, refined by Daly)
+says the interval that minimizes expected lost time is
+
+    T_opt = sqrt(2 * C * MTBF)
+
+where ``C`` is the cost of one checkpoint and ``MTBF`` the mean time
+between failures: expected overhead per unit time is roughly
+
+    C / T            (time spent checkpointing)
+  + T / (2 * MTBF)   (work lost per failure, half an interval on average)
+
+and the sum is minimized where the two terms are equal.
+
+:class:`AdaptiveIntervalController` estimates both inputs online — MTBF
+from the failures the remediation operator reports (with a Bayesian-style
+prior so the estimate is sane before the first failure), checkpoint cost
+as an EWMA of measured costs — and clamps the Young interval to a
+configured band.  Everything is integer-ns arithmetic on observed
+events, so two runs that see the same failures pick the same intervals.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.units import msecs, secs
+
+
+def expected_overhead(interval_ns: int, cost_ns: float,
+                      mtbf_ns: float) -> float:
+    """Expected fraction of wall time lost to checkpointing + redone
+    work at checkpoint interval *interval_ns* (first-order Young model).
+    """
+    if interval_ns <= 0:
+        raise ValueError(f"interval must be positive, got {interval_ns}")
+    if mtbf_ns <= 0:
+        raise ValueError(f"MTBF must be positive, got {mtbf_ns}")
+    return cost_ns / interval_ns + interval_ns / (2.0 * mtbf_ns)
+
+
+def young_interval_ns(cost_ns: float, mtbf_ns: float) -> int:
+    """The unclamped Young optimum ``sqrt(2 * C * MTBF)`` in whole ns."""
+    return max(1, int(math.sqrt(2.0 * cost_ns * mtbf_ns)))
+
+
+class AdaptiveIntervalController:
+    """Online Young-interval tuner fed by the operator and the client.
+
+    * :meth:`observe_failure` — the operator calls this on every daemon
+      death/wedge it remediates; together with elapsed time this yields
+      the MTBF estimate.
+    * :meth:`observe_checkpoint_cost` — the training loop reports each
+      checkpoint's measured stall; an EWMA tracks drift (a model that
+      grows, a congested fabric).
+    * :meth:`interval_ns` / :meth:`frequency` — the current
+      recommendation.
+
+    The MTBF estimate is ``(elapsed + prior_mtbf) / (failures + 1)``:
+    one phantom failure at the prior MTBF, so a fresh controller starts
+    from the prior and converges to the observed rate as real failures
+    accumulate — no divide-by-zero, no wild swing on the first failure.
+    """
+
+    def __init__(self, min_interval_ns: int = msecs(1),
+                 max_interval_ns: int = secs(120),
+                 prior_mtbf_ns: int = secs(30),
+                 prior_cost_ns: int = msecs(5),
+                 cost_alpha: float = 0.25) -> None:
+        if min_interval_ns < 1 or max_interval_ns < min_interval_ns:
+            raise ValueError(
+                f"need 1 <= min <= max interval, got "
+                f"[{min_interval_ns}, {max_interval_ns}]")
+        if not 0 < cost_alpha <= 1:
+            raise ValueError(f"cost_alpha must be in (0, 1], "
+                             f"got {cost_alpha}")
+        self.min_interval_ns = min_interval_ns
+        self.max_interval_ns = max_interval_ns
+        self.prior_mtbf_ns = prior_mtbf_ns
+        self.cost_alpha = cost_alpha
+        self.cost_ns = float(prior_cost_ns)
+        self.failures = 0
+        self.costs_observed = 0
+        self._origin_ns = 0
+
+    # -- observations -------------------------------------------------------------
+
+    def observe_start(self, now: int) -> None:
+        """Anchor the elapsed-time clock (call once, at deployment)."""
+        self._origin_ns = now
+
+    def observe_failure(self, now: int) -> None:
+        """One failure the operator had to remediate (restart/wedge)."""
+        self.failures += 1
+
+    def observe_checkpoint_cost(self, cost_ns: int) -> None:
+        """One measured checkpoint stall (EWMA with ``cost_alpha``)."""
+        if cost_ns < 0:
+            raise ValueError(f"negative checkpoint cost: {cost_ns}")
+        if self.costs_observed == 0:
+            self.cost_ns = float(cost_ns)
+        else:
+            self.cost_ns += self.cost_alpha * (cost_ns - self.cost_ns)
+        self.costs_observed += 1
+
+    # -- estimates ----------------------------------------------------------------
+
+    def mtbf_ns(self, now: int) -> float:
+        """Current mean-time-between-failures estimate (prior-smoothed)."""
+        elapsed = max(0, now - self._origin_ns)
+        return (elapsed + self.prior_mtbf_ns) / (self.failures + 1)
+
+    def interval_ns(self, now: int) -> int:
+        """The clamped Young-optimal checkpoint interval right now."""
+        young = young_interval_ns(self.cost_ns, self.mtbf_ns(now))
+        return max(self.min_interval_ns, min(self.max_interval_ns, young))
+
+    def frequency(self, iteration_ns: int, now: int) -> int:
+        """Checkpoint every N iterations (>= 1) of *iteration_ns* each."""
+        if iteration_ns <= 0:
+            raise ValueError(
+                f"iteration time must be positive, got {iteration_ns}")
+        return max(1, round(self.interval_ns(now) / iteration_ns))
+
+    def overhead(self, now: int) -> float:
+        """Expected overhead at the current recommendation."""
+        return expected_overhead(self.interval_ns(now), self.cost_ns,
+                                 self.mtbf_ns(now))

@@ -36,6 +36,11 @@ from repro.pmem.pool import PmemPool, _SUPER_SLOT
 SEV_ERROR = "error"      # breaks recovery or restore correctness
 SEV_WARN = "warning"     # loses redundancy or space, not correctness
 
+#: ``portusctl fsck`` / ``repair`` exit codes (machine contract).
+EXIT_CLEAN = 0     # fsck: no findings / repair: nothing to do
+EXIT_DIRTY = 1     # findings exist (after repair: unfixable ones)
+EXIT_REPAIRED = 2  # repair fixed findings and the pool verifies clean
+
 #: Finding kinds (stable strings: they key metrics and test assertions).
 K_SUPERBLOCK_TORN = "superblock-torn-slot"
 K_ALLOCTABLE_TORN = "alloctable-torn-slot"
@@ -73,6 +78,11 @@ class Finding:
         where = f" [{self.model}]" if self.model else ""
         fix = "" if self.repair is not None else " (no auto-repair)"
         return f"{self.severity}: {self.kind}{where}: {self.detail}{fix}"
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "severity": self.severity,
+                "model": self.model, "detail": self.detail,
+                "repairable": self.repair is not None}
 
     def __repr__(self) -> str:
         return f"<Finding {self.describe()}>"
@@ -117,6 +127,14 @@ class FsckReport:
             lines.extend(f.describe() for f in self.findings)
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict:
+        """The ``portusctl fsck --json`` payload."""
+        return {"clean": self.clean,
+                "checked": dict(self.checked),
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings()),
+                "findings": [f.to_dict() for f in self.findings]}
+
     def __repr__(self) -> str:
         state = "clean" if self.clean else f"{len(self.findings)} findings"
         return f"<FsckReport {state}>"
@@ -143,6 +161,20 @@ class RepairResult:
                      else "pool still has findings:\n" +
                      self.report.describe())
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """The ``portusctl repair --json`` payload."""
+        return {"clean": self.clean, "passes": self.passes,
+                "actions": list(self.actions),
+                "report": self.report.to_dict()}
+
+    @property
+    def exit_code(self) -> int:
+        """``portusctl repair``'s tri-state: clean-untouched /
+        repaired-to-clean / still dirty."""
+        if not self.clean:
+            return EXIT_DIRTY
+        return EXIT_REPAIRED if self.actions else EXIT_CLEAN
 
 
 # -- slot-level helpers --------------------------------------------------------

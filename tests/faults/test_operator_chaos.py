@@ -1,0 +1,212 @@
+"""Randomized chaos sweeps with the remediation operator in the loop.
+
+The plain chaos sweep (test_chaos_properties) hands every broken
+deployment back to the test harness for manual recovery.  Here the
+schedules are *meaner* — crashed daemons get no scheduled restart,
+power loss can land at exact metadata write boundaries, and structural
+pool corruption is injected — and **zero manual recovery is allowed**:
+the operator alone must detect, remediate, and verify until the
+deployment converges.  The contract per schedule:
+
+  * the operator converges (healthy + fsck-clean, no client held) with
+    no manual ``portusctl``/restart call;
+  * a final checkpoint rides the Portus path (drain-back really works);
+  * the pool verifies fsck-clean read-only;
+  * the newest Portus-acked step restores bit-exactly;
+  * two runs of the same seed produce bit-identical results *including
+    the operator's decision log*.
+
+Knobs (environment variables):
+
+  PORTUS_OPS_EXAMPLES  number of schedules to run (default 100)
+  PORTUS_CHAOS_SEED    base seed (default 0)
+  CHAOS_TRACE          append one deterministic line per schedule
+                       (used by scripts/check_determinism.sh)
+"""
+
+import os
+import random
+import zlib
+
+import pytest
+
+from repro.core.failover import FailoverCheckpointer
+from repro.core.retry import RetryPolicy
+from repro.dnn.tensor import ModelInstance, TensorSpec
+from repro.errors import ReproError
+from repro.faults import FaultInjector, FaultPlan
+from repro.harness.cluster import PaperCluster
+from repro.ops.health import HealthThresholds
+from repro.pmem.fsck import fsck
+from repro.units import msecs, usecs
+
+pytestmark = pytest.mark.chaos
+
+EXAMPLES = int(os.environ.get("PORTUS_OPS_EXAMPLES", "100"))
+BASE_SEED = int(os.environ.get("PORTUS_CHAOS_SEED", "0"))
+TRACE_PATH = os.environ.get("CHAOS_TRACE")
+
+SPECS = [TensorSpec("block.weight", (512, 256)),
+         TensorSpec("block.bias", (512,)),
+         TensorSpec("head.weight", (16, 512))]
+STEPS = 8
+HORIZON_NS = msecs(4)
+SETTLE_DEADLINE_NS = msecs(120)
+
+
+def _trace(line):
+    if TRACE_PATH:
+        with open(TRACE_PATH, "a") as fh:
+            fh.write(line + "\n")
+
+
+def run_operator_schedule(seed, events=5):
+    """One self-healing chaos episode.
+
+    Returns ``(portus_acked, restored, decisions_crc, stats)`` —
+    everything a determinism check needs to compare, with the
+    operator's decision log collapsed to a CRC and its remediation
+    counters in ``stats``.
+    """
+    policy = RetryPolicy(rng=random.Random(seed ^ 0xA11CE),
+                         max_attempts=16,
+                         deadline_ns=msecs(25),
+                         reply_timeout_ns=msecs(8))
+    cluster = PaperCluster(
+        seed=seed, ampere_nodes=0,
+        daemon_kwargs=dict(request_timeout_ns=msecs(20),
+                           lease_ns=msecs(5),
+                           reaper_interval_ns=msecs(1)),
+        client_retry=policy)
+
+    def setup(env):
+        instance = ModelInstance.materialize("model", SPECS,
+                                             cluster.volta.gpus[0],
+                                             model_seed=seed)
+        session = yield from cluster.portus_client().register(instance)
+        return instance, session
+
+    instance, session = cluster.run(setup)
+    failover = FailoverCheckpointer(cluster.env, session, cluster.volta,
+                                    failure_threshold=2,
+                                    probe_interval_ns=msecs(1),
+                                    rng=random.Random(seed ^ 0xBAC0FF))
+    operator = cluster.enable_operator(
+        interval_ns=usecs(500),
+        thresholds=HealthThresholds(wedge_ns=msecs(50)))
+    operator.register_failover(failover)
+
+    rng = random.Random(seed)
+    plan = FaultPlan.random(rng, horizon_ns=HORIZON_NS, events=events,
+                            auto_recover_daemon=False,
+                            allow_pool_corrupt=True)
+    injector = FaultInjector(cluster.env, cluster)
+    # Every fourth schedule also arms a power cut at an exact metadata
+    # write boundary — the "power loss at crash points" dimension.  The
+    # recorder fires at most once; the operator must ride it out.
+    if seed % 4 == 0:
+        injector.arm_crash_point(cluster.server.pmem_devdax,
+                                 crash_at=rng.randrange(4, 64))
+    base = cluster.env.now
+    injector.install(plan.shifted(base))
+
+    portus_acked, paths = [], []
+
+    def traffic(env):
+        for step in range(1, STEPS + 1):
+            instance.update_step(step)
+            try:
+                result = yield from failover.checkpoint(step)
+            except ReproError:
+                # e.g. a crash-point power failure erupting through a
+                # mid-flight pull; the step is simply not acked.
+                paths.append("error")
+                continue
+            paths.append(result["path"])
+            if result["path"] == "portus":
+                portus_acked.append(step)
+            yield env.timeout(usecs(400))
+        remaining = base + plan.horizon_ns() + usecs(50) - env.now
+        if remaining > 0:
+            yield env.timeout(remaining)
+
+    cluster.run(traffic)
+
+    # -- convergence: the operator alone heals the deployment ---------------------
+    def settle(env):
+        deadline = env.now + SETTLE_DEADLINE_NS
+        while not operator.converged and env.now < deadline:
+            yield env.timeout(msecs(1))
+        return operator.converged
+
+    converged = cluster.run(settle)
+    context = (f"seed={seed} plan=[{'; '.join(plan.describe().splitlines())}]"
+               f" paths={paths} decisions={operator.decisions[-8:]}")
+    assert converged, f"operator never converged: {context}"
+
+    # -- drain-back really works: the next checkpoint is durable ------------------
+    def final_checkpoint(env):
+        instance.update_step(STEPS + 1)
+        return (yield from failover.checkpoint(STEPS + 1))
+
+    result = cluster.run(final_checkpoint)
+    assert result["path"] == "portus", \
+        f"converged deployment still on the local path: {context}"
+    portus_acked.append(STEPS + 1)
+
+    # -- structural health --------------------------------------------------------
+    report = fsck(cluster.portus_pool)
+    assert report.clean, \
+        f"fsck dirty after convergence: {report.describe()} {context}"
+
+    # -- the newest acked checkpoint restores bit-exactly -------------------------
+    def recover(env):
+        instance.update_step(0)  # scramble the weights: restore must win
+        return (yield from session.restore())
+
+    restored = cluster.run(recover)
+    assert restored == max(portus_acked), \
+        f"restored {restored} != newest acked: {context}"
+    mismatches = [
+        tensor.name for tensor in instance.tensors
+        if not tensor.content().equals(tensor.expected_content(restored))
+    ]
+    assert mismatches == [], f"torn restore {mismatches}: {context}"
+
+    stats = (operator.restarts, operator.repairs, operator.drains)
+    decisions_crc = zlib.crc32("\n".join(operator.decisions).encode())
+    _trace(f"seed={seed} acked={portus_acked} restored={restored} "
+           f"restarts={operator.restarts} repairs={operator.repairs} "
+           f"drains={operator.drains} decisions_crc={decisions_crc:08x} "
+           f"plan=[{'; '.join(plan.describe().splitlines())}]")
+    return tuple(portus_acked), restored, decisions_crc, stats
+
+
+def test_operator_chaos_schedules_self_heal():
+    totals = {"restarts": 0, "repairs": 0, "drains": 0}
+    for index in range(EXAMPLES):
+        _acked, _restored, _crc, stats = run_operator_schedule(
+            BASE_SEED + index)
+        totals["restarts"] += stats[0]
+        totals["repairs"] += stats[1]
+        totals["drains"] += stats[2]
+    # The sweep must actually exercise the operator, not degenerate
+    # into all-healthy schedules that never needed remediation.
+    assert totals["restarts"] > 0, "no schedule needed a restart"
+    assert totals["repairs"] > 0, "no schedule needed a pool repair"
+    assert totals["drains"] > 0, "no schedule drained a client back"
+
+
+def test_operator_chaos_schedule_is_deterministic():
+    seed = BASE_SEED + 424_243
+    first = run_operator_schedule(seed)
+    second = run_operator_schedule(seed)
+    assert first == second, "same seed diverged (decision log included)"
+
+
+def test_operator_chaos_crash_point_schedule_is_deterministic():
+    seed = BASE_SEED + 424_244  # % 4 == 0: arms a crash point
+    assert seed % 4 == 0
+    first = run_operator_schedule(seed)
+    second = run_operator_schedule(seed)
+    assert first == second

@@ -6,7 +6,8 @@ import pytest
 
 from repro.harness.cluster import PaperCluster
 from repro.harness.experiments import (fig9_timeline, fig10_datapath,
-                                       fig11_fig12_times, speedups,
+                                       fig11_fig12_times,
+                                       ops_policy_lost_work, speedups,
                                        table1_breakdown)
 from repro.units import gbytes, kib, mib
 
@@ -38,6 +39,17 @@ def test_fig9_policy_ordering():
     order = ["pytorch_sync", "checkfreq", "portus_sync", "portus_async"]
     totals = [result[name]["total_ns"] for name in order]
     assert totals == sorted(totals, reverse=True)
+
+
+def test_adaptive_interval_beats_fixed_checkfreq_tuning():
+    result = ops_policy_lost_work()
+    # Same seeded failure trace for both policies; the adaptive
+    # controller must cut total waste (lost work + stall), not merely
+    # trade lost work for unbounded checkpoint overhead.
+    assert result["lost_work_ratio"] < 0.5
+    assert result["waste_ratio"] < 0.7
+    assert result["adaptive"]["failures"] == result["fixed"]["failures"]
+    assert result == ops_policy_lost_work()  # deterministic
 
 
 def test_paper_cluster_wiring():

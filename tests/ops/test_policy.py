@@ -1,0 +1,104 @@
+"""The adaptive checkpoint-interval controller (Young/Daly optimum)."""
+
+import math
+
+import pytest
+
+from repro.ops.policy import (AdaptiveIntervalController, expected_overhead,
+                              young_interval_ns)
+from repro.units import msecs, secs
+
+
+def test_young_interval_matches_the_formula():
+    cost, mtbf = msecs(5), secs(30)
+    assert young_interval_ns(cost, mtbf) == int(math.sqrt(2 * cost * mtbf))
+
+
+def test_young_point_minimizes_expected_overhead():
+    cost, mtbf = msecs(5), secs(30)
+    optimum = young_interval_ns(cost, mtbf)
+    best = expected_overhead(optimum, cost, mtbf)
+    for factor in (0.25, 0.5, 2.0, 4.0):
+        other = max(1, int(optimum * factor))
+        assert expected_overhead(other, cost, mtbf) > best
+
+
+def test_expected_overhead_rejects_degenerate_inputs():
+    with pytest.raises(ValueError):
+        expected_overhead(0, msecs(1), secs(1))
+    with pytest.raises(ValueError):
+        expected_overhead(msecs(1), msecs(1), 0)
+
+
+def test_controller_starts_from_the_prior():
+    controller = AdaptiveIntervalController(prior_mtbf_ns=secs(30),
+                                            prior_cost_ns=msecs(5))
+    controller.observe_start(0)
+    assert controller.mtbf_ns(0) == pytest.approx(secs(30))
+    assert controller.interval_ns(0) == young_interval_ns(msecs(5), secs(30))
+
+
+def test_failures_shorten_the_interval_and_quiet_time_stretches_it():
+    controller = AdaptiveIntervalController(prior_mtbf_ns=secs(30),
+                                            prior_cost_ns=msecs(5),
+                                            max_interval_ns=secs(3600))
+    controller.observe_start(0)
+    baseline = controller.interval_ns(secs(60))
+    for at in (secs(10), secs(20), secs(30), secs(40)):
+        controller.observe_failure(at)
+    assert controller.interval_ns(secs(60)) < baseline
+    # A long quiet stretch pushes MTBF — and the interval — back up.
+    flaky_now = controller.interval_ns(secs(60))
+    assert controller.interval_ns(secs(6000)) > flaky_now
+
+
+def test_checkpoint_cost_ewma_tracks_drift():
+    controller = AdaptiveIntervalController(cost_alpha=0.5)
+    controller.observe_checkpoint_cost(msecs(4))
+    assert controller.cost_ns == pytest.approx(msecs(4))
+    controller.observe_checkpoint_cost(msecs(8))
+    assert controller.cost_ns == pytest.approx(msecs(6))
+    with pytest.raises(ValueError):
+        controller.observe_checkpoint_cost(-1)
+
+
+def test_interval_clamps_to_the_configured_band():
+    # A stable deployment's Young optimum (~19 s here) hits the ceiling.
+    calm = AdaptiveIntervalController(min_interval_ns=msecs(10),
+                                      max_interval_ns=msecs(20),
+                                      prior_mtbf_ns=secs(3600),
+                                      prior_cost_ns=msecs(50))
+    calm.observe_start(0)
+    assert calm.interval_ns(0) == msecs(20)
+    # A crash-looping one (MTBF driven to ~10 us) hits the floor.
+    flaky = AdaptiveIntervalController(min_interval_ns=msecs(10),
+                                       max_interval_ns=msecs(20),
+                                       prior_mtbf_ns=msecs(1),
+                                       prior_cost_ns=msecs(50))
+    flaky.observe_start(0)
+    for _ in range(100):
+        flaky.observe_failure(0)
+    assert flaky.interval_ns(0) == msecs(10)
+
+
+def test_frequency_rounds_to_whole_iterations():
+    controller = AdaptiveIntervalController(prior_mtbf_ns=secs(30),
+                                            prior_cost_ns=msecs(5))
+    controller.observe_start(0)
+    interval = controller.interval_ns(0)
+    assert controller.frequency(interval, 0) == 1
+    assert controller.frequency(interval * 10, 0) == 1  # never below 1
+    assert controller.frequency(max(1, interval // 4), 0) == 4
+
+
+def test_controller_is_deterministic():
+    def drive():
+        controller = AdaptiveIntervalController()
+        controller.observe_start(0)
+        for at in (secs(3), secs(9), secs(11)):
+            controller.observe_failure(at)
+            controller.observe_checkpoint_cost(msecs(2))
+        return (controller.interval_ns(secs(20)),
+                controller.mtbf_ns(secs(20)), controller.cost_ns)
+
+    assert drive() == drive()
