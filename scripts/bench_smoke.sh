@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Seconds-long smoke pass over the benchmark suite: every benchmark
 # datapath exercised with the tiniest model/config for one iteration
-# (see benchmarks/bench_smoke.py).  Use before committing datapath
+# (benchmarks/bench_smoke.py plus every `bench_smoke`-marked test,
+# e.g. the sim hot-path scheduler-agreement check in
+# benchmarks/bench_sim_hotpath.py).  Use before committing datapath
 # changes; the full suite is `pytest benchmarks/`.
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -7,7 +7,9 @@
 #      smoke and `portusctl fsck` / `health` smokes — the demo pool
 #      must verify structurally clean and classify healthy;
 #   2. bench smoke: every benchmark datapath, tiniest config, one
-#      iteration (scripts/bench_smoke.sh);
+#      iteration (scripts/bench_smoke.sh); then the sim hot-path bench,
+#      which guards against a >20% speedup regression vs the committed
+#      BENCH_sim.json (CI_FAST runs it at reduced scale, no guard);
 #   3. trace smoke: a traced benchmark run must emit loadable Chrome
 #      trace_event JSON + a metrics snapshot at zero simulated-time
 #      cost (the observability layer's contract);
@@ -49,6 +51,10 @@ print("OK: fsck --json clean, checked %s" % report["checked"])
 
 step "benchmark smoke"
 scripts/bench_smoke.sh
+
+step "sim hot-path bench (regression guard vs BENCH_sim.json)"
+PYTHONPATH=src python -m pytest \
+    "benchmarks/bench_sim_hotpath.py::test_sim_hotpath_fleet" -q
 
 step "traced-run smoke (Chrome trace + metrics, zero-cost)"
 TRACE_DIR="$(mktemp -d)"

@@ -38,7 +38,7 @@ from collections import deque
 from typing import Callable, Dict, Generator, List, Optional, Sequence
 
 from repro.errors import ReproError
-from repro.obs import Observability
+from repro.obs import NULL_SPAN, Observability
 from repro.sim import AllOf, AnyOf, Environment, Event, Transfer
 from repro.units import mib
 
@@ -115,6 +115,8 @@ def stripe_items(items: List[WorkItem], lanes: int,
 
 class _StreamToken(Event):
     """A pending claim on an :class:`IngestLimiter` slot."""
+
+    __slots__ = ("limiter", "owner")
 
     def __init__(self, limiter: "IngestLimiter", owner) -> None:
         super().__init__(limiter.env)
@@ -342,10 +344,19 @@ class TransferEngine:
         """
         inflight: Dict = {}
         pending_token = None
-        lane_span = self.obs.tracer.span(
-            self.env, f"lane.{kind}", cat="engine",
-            trace_id=self.trace_id, parent=parent,
-            track=f"engine/qp{index}", qp=index)
+        # Per-WR tracing is the hottest span site in a traced fleet run;
+        # hoist the tracer check and the per-lane strings so a disabled
+        # tracer allocates nothing per WR (no f-strings, no kwargs dict).
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            lane_track = f"engine/qp{index}"
+            wr_name = f"wr.{kind}"
+            lane_span = tracer.span(
+                self.env, f"lane.{kind}", cat="engine",
+                trace_id=self.trace_id, parent=parent,
+                track=lane_track, qp=index)
+        else:
+            lane_span = NULL_SPAN
         posted = 0
         try:
             while (queue or inflight) and not self._aborted:
@@ -367,11 +378,11 @@ class TransferEngine:
                     item = queue.popleft()
                     event = self._post(kind, qp, item, region_mr,
                                        label_prefix)
-                    wr_span = self.obs.tracer.span(
-                        self.env, f"wr.{kind}", cat="wr",
+                    wr_span = tracer.span(
+                        self.env, wr_name, cat="wr",
                         trace_id=self.trace_id, parent=lane_span,
-                        track=f"engine/qp{index}", item=item.name,
-                        bytes=item.size)
+                        track=lane_track, item=item.name,
+                        bytes=item.size) if tracer.enabled else NULL_SPAN
                     posted += 1
                     inflight[event] = (item, token, wr_span)
                     self._inflight_now += 1
@@ -412,10 +423,16 @@ class TransferEngine:
         """
         inflight: Dict = {}
         pending_token = None
-        lane_span = self.obs.tracer.span(
-            self.env, f"lane.{kind}", cat="engine",
-            trace_id=self.trace_id, parent=parent,
-            track=f"engine/qp{index}", qp=index, barrier=True)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            lane_track = f"engine/qp{index}"
+            wr_name = f"wr.{kind}"
+            lane_span = tracer.span(
+                self.env, f"lane.{kind}", cat="engine",
+                trace_id=self.trace_id, parent=parent,
+                track=lane_track, qp=index, barrier=True)
+        else:
+            lane_span = NULL_SPAN
         try:
             while queue and not self._aborted:
                 window = deque()
@@ -447,11 +464,11 @@ class TransferEngine:
                     item = window.popleft()
                     event = self._post(kind, qp, item, region_mr,
                                        label_prefix)
-                    wr_span = self.obs.tracer.span(
-                        self.env, f"wr.{kind}", cat="wr",
+                    wr_span = tracer.span(
+                        self.env, wr_name, cat="wr",
                         trace_id=self.trace_id, parent=lane_span,
-                        track=f"engine/qp{index}", item=item.name,
-                        bytes=item.size)
+                        track=lane_track, item=item.name,
+                        bytes=item.size) if tracer.enabled else NULL_SPAN
                     inflight[event] = (item, token, wr_span)
                     self._inflight_now += 1
                     self.peak_inflight = max(self.peak_inflight,
@@ -489,9 +506,11 @@ class TransferEngine:
             if event.ok:
                 self.bytes_moved += item.size
                 self.bytes_landed += item.size
-                span.finish(ok=True)
+                if span is not NULL_SPAN:
+                    span.finish(ok=True)
             else:
-                span.finish(ok=False)
+                if span is not NULL_SPAN:
+                    span.finish(ok=False)
                 if self._first_error is None:
                     self._record_error(event.value)
 
@@ -511,10 +530,12 @@ class TransferEngine:
                 self.stream_limit.release(token)
             if event.triggered and event.ok:
                 self.bytes_landed += item.size
-                span.finish(ok=True, drained=True)
+                if span is not NULL_SPAN:
+                    span.finish(ok=True, drained=True)
             else:
                 event.defuse()
-                span.finish(ok=False, drained=True)
+                if span is not NULL_SPAN:
+                    span.finish(ok=False, drained=True)
         inflight.clear()
 
 

@@ -151,6 +151,8 @@ class Histogram:
 class MetricsRegistry:
     """Flat name -> instrument map with get-or-create accessors."""
 
+    __slots__ = ("_instruments",)
+
     def __init__(self) -> None:
         self._instruments: Dict[str, Any] = {}
 

@@ -19,6 +19,15 @@ a traced run is **bit-identical in simulated time** to an untraced one
 (`enabled=False`, the default everywhere) goes further and returns a
 shared no-op span, so the fast path pays one attribute check.
 
+Zero-*alloc* contract for hot sites: a disabled tracer must also cost
+zero allocations per call, which is a caller-side discipline — the
+per-WR sites in :mod:`repro.core.engine` check ``tracer.enabled`` before
+building span names or keyword arguments, so an untraced fleet run pays
+one attribute load per WR, not an f-string and a kwargs dict.  When
+tracing *is* enabled, :class:`Span` is ``__slots__``-backed (no
+per-span ``__dict__``) and stores its kwargs dict only when non-empty,
+keeping traced fleet runs from being dominated by span bookkeeping.
+
 Export
 ------
 
@@ -123,6 +132,8 @@ class Tracer:
     randomness — so two runs of the same seeded simulation produce the
     same trace byte for byte.
     """
+
+    __slots__ = ("enabled", "spans", "_next_trace", "_next_span")
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled

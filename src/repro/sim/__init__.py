@@ -18,7 +18,8 @@ hardware layer.
 from repro.sim.core import Environment, Event, Process, Timeout
 from repro.sim.process import AllOf, AnyOf, Condition
 from repro.sim.rand import RandomStreams
-from repro.sim.resources import Resource, SharedChannel, Store, Transfer
+from repro.sim.resources import (Resource, SharedChannel, Store, Transfer,
+                                 scheduler_stats, use_reference_scheduler)
 
 __all__ = [
     "AllOf",
@@ -33,4 +34,6 @@ __all__ = [
     "Store",
     "Timeout",
     "Transfer",
+    "scheduler_stats",
+    "use_reference_scheduler",
 ]

@@ -16,6 +16,8 @@ from repro.sim.core import Environment, Event
 class ConditionValue:
     """Ordered mapping of event -> value for events that fired."""
 
+    __slots__ = ("events",)
+
     def __init__(self) -> None:
         self.events: List[Event] = []
 
@@ -44,6 +46,8 @@ class ConditionValue:
 class Condition(Event):
     """Waits for a quorum of *events* to trigger successfully."""
 
+    __slots__ = ("_events", "_needed", "_fired")
+
     def __init__(self, env: Environment, events: Sequence[Event],
                  count: int) -> None:
         super().__init__(env)
@@ -56,12 +60,16 @@ class Condition(Event):
             self.succeed(ConditionValue())
             return
         for event in self._events:
-            if event.callbacks is None:
+            if event._processed:
                 self._on_child(event)
                 if self.triggered:
                     break
             else:
-                event.callbacks.append(self._on_child)
+                callbacks = event._callbacks
+                if callbacks is None:
+                    event._callbacks = [self._on_child]
+                else:
+                    callbacks.append(self._on_child)
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:
@@ -83,12 +91,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when every event in *events* has triggered successfully."""
 
+    __slots__ = ()
+
     def __init__(self, env: Environment, events: Sequence[Event]) -> None:
         super().__init__(env, events, count=len(list(events)))
 
 
 class AnyOf(Condition):
     """Triggers when at least one event in *events* triggers successfully."""
+
+    __slots__ = ()
 
     def __init__(self, env: Environment, events: Sequence[Event]) -> None:
         super().__init__(env, events, count=1)

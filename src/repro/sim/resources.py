@@ -3,30 +3,66 @@
 ``SharedChannel`` is the workhorse of every bandwidth model in the library.
 A *transfer* is a flow of N bytes across one or more channels (PCIe link,
 NIC, switch port, memory device).  Concurrent flows share each channel's
-capacity max-min fairly: the scheduler performs progressive filling across
-all channels, freezing flows at the bottleneck rate, so that e.g. sixteen
-GPU shards checkpointing through one 100 Gbps server NIC each see 1/16th of
-the wire while a concurrent local NVMe write is unaffected.
+capacity max-min fairly: the scheduler performs progressive filling,
+freezing flows at the bottleneck rate, so that e.g. sixteen GPU shards
+checkpointing through one 100 Gbps server NIC each see 1/16th of the wire
+while a concurrent local NVMe write is unaffected.
 
 Rates are recomputed only when flow membership changes, which keeps the
 model exact (piecewise-constant rates) and the event count linear in the
 number of transfers.
+
+Incremental reallocation
+------------------------
+
+Fleet-scale runs put hundreds of concurrent flows on the scheduler, and
+the seed implementation re-ran progressive filling over *every* channel
+and flow on *every* admit/finish — O(flows x channels) per membership
+change, the simulator's wall-clock bottleneck (see
+``benchmarks/bench_sim_hotpath.py`` / ``BENCH_sim.json``).  The
+:class:`_FluidScheduler` here is incremental:
+
+* **Persistent registries.**  ``SharedChannel.flows`` (admission-ordered)
+  is the live per-channel flow registry; the solver reads it directly
+  instead of rebuilding a channel->flows map from the full flow list.
+* **Dirty-channel component re-solve.**  A membership change marks only
+  the touched channels dirty.  The solver re-runs progressive filling
+  over the *connected component* of channels/flows reachable from the
+  dirty set; disjoint traffic (another daemon's NIC/PMem pair, another
+  rack) keeps its rates untouched.  Max-min allocations of disjoint
+  components are independent, so the result is identical to the full
+  recompute.
+* **Same-tick coalescing.**  Admissions mark dirty state and schedule one
+  *urgent flush* event at the current timestamp; a striped stripe set of
+  N same-tick transfers triggers one solve, not N.  Progress accounting
+  (:meth:`_advance`) still happens eagerly at each admission so
+  completion ordering is bit-identical to the eager scheduler.
+
+The seed's full-recompute solver is retained as
+:class:`_ReferenceFluidScheduler` (install with
+:func:`use_reference_scheduler`): the differential property suite
+(``tests/sim/test_fluid_incremental.py``) holds the two bit-identical
+under randomized churn, and the hot-path benchmark records the speedup
+trajectory against it.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, Sequence, Set
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set
 
 from repro.errors import SimulationError
 from repro.units import SECOND
-from repro.sim.core import Environment, Event
+from repro.sim.core import (Environment, Event, PRIORITY_URGENT)
 
 _EPSILON_BYTES = 1e-6
 
 
 class Request(Event):
     """A pending claim on a :class:`Resource`."""
+
+    __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
@@ -56,7 +92,7 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self._holders: Set[Request] = set()
-        self._waiters: List[Request] = []
+        self._waiters: Deque[Request] = deque()
 
     @property
     def in_use(self) -> int:
@@ -93,7 +129,7 @@ class Resource:
 
     def _grant_next(self) -> None:
         while self._waiters and len(self._holders) < self.capacity:
-            nxt = self._waiters.pop(0)
+            nxt = self._waiters.popleft()
             self._holders.add(nxt)
             nxt.succeed(nxt)
 
@@ -106,9 +142,9 @@ class Store:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.env = env
         self.capacity = capacity
-        self._items: List[Any] = []
-        self._getters: List[Event] = []
-        self._putters: List = []  # (event, item) pairs
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque = deque()  # (event, item) pairs
 
     def __len__(self) -> int:
         return len(self._items)
@@ -138,13 +174,13 @@ class Store:
             progressed = False
             while self._putters and (
                     self.capacity is None or len(self._items) < self.capacity):
-                event, item = self._putters.pop(0)
+                event, item = self._putters.popleft()
                 self._items.append(item)
                 event.succeed(item)
                 progressed = True
             while self._getters and self._items:
-                event = self._getters.pop(0)
-                event.succeed(self._items.pop(0))
+                event = self._getters.popleft()
+                event.succeed(self._items.popleft())
                 progressed = True
 
 
@@ -157,6 +193,9 @@ class SharedChannel:
     XPLine): once more than ``congestion_threshold`` flows are active the
     pool shrinks to the congested capacity.
     """
+
+    __slots__ = ("env", "capacity_bps", "congested_capacity_bps",
+                 "congestion_threshold", "name", "flows", "_bytes_carried")
 
     def __init__(self, env: Environment, capacity_bps: float,
                  name: str = "channel",
@@ -176,8 +215,18 @@ class SharedChannel:
         self.name = name
         # Insertion-ordered (dict-as-set): iteration order must not depend
         # on object ids or replay determinism breaks across processes.
+        # This is the scheduler's *persistent* live-flow registry: admit
+        # inserts, completion deletes, the solver iterates it directly.
         self.flows: Dict["Transfer", None] = {}
-        self.bytes_carried = 0
+        # Accumulated in float: per-tick truncation used to lose up to a
+        # byte per rate change (the fractional remainder of each tick).
+        self._bytes_carried = 0.0
+
+    @property
+    def bytes_carried(self) -> int:
+        """Total bytes this channel has carried (rounded; exact in float
+        internally so many small ticks cannot under-count)."""
+        return int(round(self._bytes_carried))
 
     def capacity_for(self, flow_count: int) -> float:
         """Aggregate capacity offered to *flow_count* concurrent flows."""
@@ -208,6 +257,9 @@ class Transfer(Event):
     bounds this flow below the fair share (e.g. a single DMA engine).
     """
 
+    __slots__ = ("channels", "size_bytes", "remaining", "rate_cap_bps",
+                 "label", "rate_bps", "started_at", "finished_at", "_order")
+
     def __init__(self, env: Environment, channels: Sequence[SharedChannel],
                  size_bytes: int, latency_ns: int = 0,
                  rate_cap_bps: Optional[float] = None,
@@ -227,10 +279,11 @@ class Transfer(Event):
         self.rate_bps = 0.0
         self.started_at = env.now
         self.finished_at: Optional[int] = None
+        self._order = 0
         scheduler = _fluid_scheduler(env)
         if latency_ns > 0:
             timer = env.timeout(latency_ns)
-            timer.callbacks.append(lambda _ev: scheduler.admit(self))
+            timer._callbacks = [lambda _ev: scheduler.admit(self)]
         else:
             scheduler.admit(self)
 
@@ -247,7 +300,11 @@ class Transfer(Event):
 
 
 class _FluidScheduler:
-    """Per-environment coordinator implementing progressive filling."""
+    """Per-environment coordinator implementing incremental progressive
+    filling (see the module docstring for the three mechanisms)."""
+
+    __slots__ = ("env", "active", "_last_update", "_wakeup_gen", "_dirty",
+                 "_flush_pending", "_order", "stats")
 
     def __init__(self, env: Environment) -> None:
         self.env = env
@@ -257,8 +314,248 @@ class _FluidScheduler:
         # must follow admission order, not id()-dependent set order.
         self.active: Dict[Transfer, None] = {}
         self._last_update = env.now
-        self._wakeup: Optional[Event] = None
         self._wakeup_gen = 0
+        # Channels whose membership changed since the last solve, in
+        # first-touched order (order only matters for reproducibility of
+        # the component walk, not for the resulting rates).
+        self._dirty: Dict[SharedChannel, None] = {}
+        self._flush_pending = False
+        self._order = 0
+        self.stats = {"solves": 0, "flows_solved": 0, "channels_solved": 0,
+                      "flushes": 0, "wakeups": 0}
+
+    # -- public hooks ---------------------------------------------------------
+
+    def admit(self, transfer: Transfer) -> None:
+        if transfer.size_bytes == 0:
+            transfer.finished_at = self.env.now
+            transfer.succeed(transfer)
+            return
+        # Advance eagerly (not in the flush): any flow that drains exactly
+        # at this tick must complete *here*, in the same callback context
+        # the eager scheduler completed it in, to keep event order
+        # bit-identical.
+        self._advance()
+        self._order += 1
+        transfer._order = self._order
+        self.active[transfer] = None
+        dirty = self._dirty
+        for channel in transfer.channels:
+            channel.flows[transfer] = None
+            dirty[channel] = None
+        if not self._flush_pending:
+            self._schedule_flush()
+
+    # -- internals -------------------------------------------------------------
+
+    def _schedule_flush(self) -> None:
+        """One urgent event per same-tick admission batch: N stripes of a
+        stripe set trigger a single rate solve."""
+        self._flush_pending = True
+        self.stats["flushes"] += 1
+        env = self.env
+        flush = Event(env)
+        flush._ok = True
+        flush._callbacks = [self._on_flush]
+        env._schedule(flush, PRIORITY_URGENT, 0)
+
+    def _on_flush(self, _event: Event) -> None:
+        self._flush_pending = False
+        self._advance()  # same tick as the admissions: elapsed is 0
+        self._reallocate()
+
+    def _advance(self) -> None:
+        """Account progress since the last rate change, retire finished flows."""
+        now = self.env.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self.active:
+            return
+        finished: Optional[List[Transfer]] = None
+        for flow in self.active:
+            moved = flow.rate_bps * elapsed / SECOND
+            before = flow.remaining
+            flow.remaining = before - moved
+            if flow.remaining <= _EPSILON_BYTES:
+                # Final tick: the ceil'd horizon overshoots by < 1 ns of
+                # rate; the channel carried only the bytes that existed.
+                flow.remaining = 0.0
+                if moved > before:
+                    moved = before
+                if finished is None:
+                    finished = []
+                finished.append(flow)
+            for channel in flow.channels:
+                channel._bytes_carried += moved
+        if finished:
+            active = self.active
+            dirty = self._dirty
+            for flow in finished:
+                del active[flow]
+                for channel in flow.channels:
+                    del channel.flows[flow]
+                    dirty[channel] = None
+                flow.finished_at = now
+                flow.succeed(flow)
+
+    def _reallocate(self) -> None:
+        """Re-solve the dirty component(s) and schedule the next completion."""
+        self._solve_dirty()
+        self._wakeup_gen += 1
+        if not self.active:
+            return
+        horizon = min(
+            math.ceil(flow.remaining * SECOND / flow.rate_bps)
+            for flow in self.active)
+        horizon = max(1, horizon)
+        gen = self._wakeup_gen
+        timer = self.env.timeout(horizon)
+
+        def _on_fire(_event: Event, gen: int = gen) -> None:
+            if gen != self._wakeup_gen:
+                return  # superseded by a later membership change
+            self.stats["wakeups"] += 1
+            self._advance()
+            self._reallocate()
+
+        timer._callbacks = [_on_fire]
+
+    def _solve_dirty(self) -> None:
+        """Progressive filling over the connected component(s) of the
+        dirty channels; everything else keeps its rates."""
+        dirty = self._dirty
+        if not dirty:
+            return
+        self._dirty = {}
+        if not self.active:
+            return
+        # Walk channel<->flow adjacency from the dirty channels.  Sets are
+        # used for membership only; final orders come from admission
+        # sequence numbers, so the walk itself need not be ordered.
+        flows: List[Transfer] = []
+        seen_flows: Set[Transfer] = set()
+        stack: List[SharedChannel] = [ch for ch in dirty if ch.flows]
+        seen_channels: Set[SharedChannel] = set(stack)
+        while stack:
+            channel = stack.pop()
+            for flow in channel.flows:
+                if flow not in seen_flows:
+                    seen_flows.add(flow)
+                    flows.append(flow)
+                    for other in flow.channels:
+                        if other not in seen_channels:
+                            seen_channels.add(other)
+                            stack.append(other)
+        if not flows:
+            return
+        # Admission order — the order float rates are subtracted in, and
+        # therefore load-bearing for bit-identical replays.
+        flows.sort(key=_admission_order)
+        channels: List[SharedChannel] = []
+        first_seen: Set[SharedChannel] = set()
+        for flow in flows:
+            for channel in flow.channels:
+                if channel not in first_seen:
+                    first_seen.add(channel)
+                    channels.append(channel)
+        self.stats["solves"] += 1
+        self.stats["flows_solved"] += len(flows)
+        self.stats["channels_solved"] += len(channels)
+        self._solve_component(channels, flows)
+
+    def _solve_component(self, channels: List[SharedChannel],
+                         flows: List[Transfer]) -> None:
+        """Max-min progressive filling over one connected component.
+
+        Float-for-float the same operation sequence as the reference
+        solver restricted to this component: per-channel shares from live
+        counts, freeze at the bottleneck level, subtract frozen rates in
+        admission order.
+        """
+        remaining_cap: Dict[SharedChannel, float] = {}
+        live_count: Dict[SharedChannel, int] = {}
+        for channel in channels:
+            count = len(channel.flows)
+            remaining_cap[channel] = channel.capacity_for(count)
+            live_count[channel] = count
+        unfrozen: Dict[Transfer, None] = dict.fromkeys(flows)
+        capped_any = False
+        for flow in flows:
+            flow.rate_bps = 0.0
+            if flow.rate_cap_bps is not None:
+                capped_any = True
+
+        while unfrozen:
+            # The next bottleneck is the smallest equal share on offer,
+            # considering both channel shares and per-flow caps.
+            share = math.inf
+            for channel in channels:
+                count = live_count[channel]
+                if count:
+                    offered = remaining_cap[channel] / count
+                    if offered < share:
+                        share = offered
+            if capped_any:
+                capped = [f for f in unfrozen if f.rate_cap_bps is not None]
+                cap_limit = min((f.rate_cap_bps for f in capped),
+                                default=math.inf)
+            else:
+                capped = []
+                cap_limit = math.inf
+            if cap_limit < share:
+                # Freeze every flow whose own cap binds first.
+                level = cap_limit
+                frozen = dict.fromkeys(
+                    f for f in capped if f.rate_cap_bps <= level)
+            else:
+                level = share
+                frozen = {}
+                for channel in channels:
+                    count = live_count[channel]
+                    if count and \
+                            remaining_cap[channel] / count <= level + 1e-9:
+                        for flow in channel.flows:
+                            if flow in unfrozen:
+                                frozen[flow] = None
+            if not frozen or level is math.inf:
+                # No binding constraint (should not happen: every flow
+                # crosses at least one channel), freeze everything at share.
+                frozen = dict.fromkeys(unfrozen)
+                level = share
+            for flow in frozen:
+                rate = level if flow.rate_cap_bps is None else min(
+                    level, flow.rate_cap_bps)
+                flow.rate_bps = max(rate, 1e-9)
+                for channel in flow.channels:
+                    remaining_cap[channel] -= flow.rate_bps
+                    remaining_cap[channel] = max(remaining_cap[channel], 0.0)
+                    live_count[channel] -= 1
+            for flow in frozen:
+                unfrozen.pop(flow, None)
+
+
+def _admission_order(flow: Transfer) -> int:
+    return flow._order
+
+
+class _ReferenceFluidScheduler:
+    """The seed's eager full-recompute scheduler, retained verbatim.
+
+    Every admit/finish re-runs progressive filling over *all* channels
+    and flows.  It exists as the ground truth for the differential
+    property suite (``tests/sim/test_fluid_incremental.py``) and as the
+    "before" side of ``benchmarks/bench_sim_hotpath.py``; install it on a
+    fresh environment with :func:`use_reference_scheduler`.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.active: Dict[Transfer, None] = {}
+        self._last_update = env.now
+        self._wakeup_gen = 0
+        self._order = 0
+        self.stats = {"solves": 0, "flows_solved": 0, "channels_solved": 0,
+                      "flushes": 0, "wakeups": 0}
 
     # -- public hooks ---------------------------------------------------------
 
@@ -268,6 +565,8 @@ class _FluidScheduler:
             transfer.succeed(transfer)
             return
         self._advance()
+        self._order += 1
+        transfer._order = self._order
         self.active[transfer] = None
         for channel in transfer.channels:
             channel.flows[transfer] = None
@@ -276,7 +575,6 @@ class _FluidScheduler:
     # -- internals -------------------------------------------------------------
 
     def _advance(self) -> None:
-        """Account progress since the last rate change, retire finished flows."""
         now = self.env.now
         elapsed = now - self._last_update
         self._last_update = now
@@ -285,12 +583,15 @@ class _FluidScheduler:
         finished: List[Transfer] = []
         for flow in self.active:
             moved = flow.rate_bps * elapsed / SECOND
-            flow.remaining -= moved
-            for channel in flow.channels:
-                channel.bytes_carried += int(moved)
+            before = flow.remaining
+            flow.remaining = before - moved
             if flow.remaining <= _EPSILON_BYTES:
                 flow.remaining = 0.0
+                if moved > before:
+                    moved = before
                 finished.append(flow)
+            for channel in flow.channels:
+                channel._bytes_carried += moved
         for flow in finished:
             self.active.pop(flow, None)
             for channel in flow.channels:
@@ -299,7 +600,6 @@ class _FluidScheduler:
             flow.succeed(flow)
 
     def _reallocate(self) -> None:
-        """Recompute max-min fair rates and schedule the next completion."""
         self._assign_rates()
         self._wakeup_gen += 1
         if not self.active:
@@ -314,13 +614,16 @@ class _FluidScheduler:
         def _on_fire(_event: Event, gen: int = gen) -> None:
             if gen != self._wakeup_gen:
                 return  # superseded by a later membership change
+            self.stats["wakeups"] += 1
             self._advance()
             self._reallocate()
 
-        timer.callbacks.append(_on_fire)
+        timer._callbacks = [_on_fire]
 
     def _assign_rates(self) -> None:
         """Progressive-filling max-min allocation across all channels."""
+        self.stats["solves"] += 1
+        self.stats["flows_solved"] += len(self.active)
         unfrozen: Dict[Transfer, None] = dict.fromkeys(self.active)
         remaining_cap: Dict[SharedChannel, float] = {}
         channel_flows: Dict[SharedChannel, Dict[Transfer, None]] = {}
@@ -330,10 +633,9 @@ class _FluidScheduler:
                 channel_flows.setdefault(channel, {})[flow] = None
         for channel, flows in channel_flows.items():
             remaining_cap[channel] = channel.capacity_for(len(flows))
+        self.stats["channels_solved"] += len(channel_flows)
 
         while unfrozen:
-            # The next bottleneck is the smallest equal share on offer,
-            # considering both channel shares and per-flow caps.
             share = math.inf
             for channel, flows in channel_flows.items():
                 live = [f for f in flows if f in unfrozen]
@@ -342,7 +644,6 @@ class _FluidScheduler:
             capped = [f for f in unfrozen if f.rate_cap_bps is not None]
             cap_limit = min((f.rate_cap_bps for f in capped), default=math.inf)
             if cap_limit < share:
-                # Freeze every flow whose own cap binds first.
                 level = cap_limit
                 frozen = dict.fromkeys(
                     f for f in capped if f.rate_cap_bps <= level)
@@ -354,8 +655,6 @@ class _FluidScheduler:
                     if live and remaining_cap[channel] / len(live) <= level + 1e-9:
                         frozen.update(dict.fromkeys(live))
             if not frozen or level is math.inf:
-                # No binding constraint (should not happen: every flow
-                # crosses at least one channel), freeze everything at share.
                 frozen = dict.fromkeys(unfrozen)
                 level = share
             for flow in frozen:
@@ -369,10 +668,33 @@ class _FluidScheduler:
                 unfrozen.pop(flow, None)
 
 
-def _fluid_scheduler(env: Environment) -> _FluidScheduler:
+def _fluid_scheduler(env: Environment):
     """Lazily attach one fluid scheduler to *env*."""
     scheduler = getattr(env, "_fluid_scheduler", None)
     if scheduler is None:
-        scheduler = _FluidScheduler(env)
+        cls = getattr(env, "_fluid_scheduler_cls", _FluidScheduler)
+        scheduler = cls(env)
         env._fluid_scheduler = scheduler
     return scheduler
+
+
+def use_reference_scheduler(env: Environment) -> None:
+    """Make *env* use the retained full-recompute reference scheduler.
+
+    Must be called before the first :class:`Transfer` on the environment
+    (the scheduler attaches lazily and is never swapped mid-run).
+    """
+    if getattr(env, "_fluid_scheduler", None) is not None:
+        raise SimulationError(
+            "use_reference_scheduler() after transfers already started")
+    env._fluid_scheduler_cls = _ReferenceFluidScheduler
+
+
+def scheduler_stats(env: Environment) -> Dict[str, int]:
+    """Counters from *env*'s fluid scheduler (zeros if none attached):
+    solves, flows/channels touched by solves, flush events, wakeups."""
+    scheduler = getattr(env, "_fluid_scheduler", None)
+    if scheduler is None:
+        return {"solves": 0, "flows_solved": 0, "channels_solved": 0,
+                "flushes": 0, "wakeups": 0}
+    return dict(scheduler.stats)

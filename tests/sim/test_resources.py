@@ -332,3 +332,30 @@ def test_bytes_carried_accounting():
 
     env.run_process(env.process(proc(env)))
     assert channel.bytes_carried == pytest.approx(123_456_789, rel=1e-3)
+
+
+def test_bytes_carried_exact_after_many_rate_changes():
+    """Carried bytes must equal transferred bytes *exactly* (after
+    rounding), even when every flow's rate changes many times.
+
+    The channel accumulates per-tick byte increments in float; the old
+    integer-truncating accumulator lost up to a byte per rate change and
+    drifted visibly under churn.  Staggered admits of awkward
+    (non-divisible) sizes force dozens of rate recomputations, and the
+    finishing tick's overshoot clamp keeps the ceil'd wakeup horizon
+    from over-counting.
+    """
+    env = Environment()
+    channel = SharedChannel(env, capacity_bps=gbytes(1),
+                            congested_capacity_bps=gbytes(1) // 2,
+                            congestion_threshold=4)
+    sizes = [123_456_789 + 7 * i for i in range(40)]
+
+    def client(env, delay, size):
+        yield env.timeout(delay)
+        yield channel.transfer(size)
+
+    for i, size in enumerate(sizes):
+        env.process(client(env, i * 1_000_003, size))
+    env.run()
+    assert channel.bytes_carried == sum(sizes)
