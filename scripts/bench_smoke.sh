@@ -3,7 +3,8 @@
 # datapath exercised with the tiniest model/config for one iteration
 # (benchmarks/bench_smoke.py plus every `bench_smoke`-marked test,
 # e.g. the sim hot-path scheduler-agreement check in
-# benchmarks/bench_sim_hotpath.py).  Use before committing datapath
+# benchmarks/bench_sim_hotpath.py and the dedup bytes-moved check in
+# benchmarks/bench_dedup.py).  Use before committing datapath
 # changes; the full suite is `pytest benchmarks/`.
 set -euo pipefail
 cd "$(dirname "$0")/.."

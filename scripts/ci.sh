@@ -9,7 +9,9 @@
 #   2. bench smoke: every benchmark datapath, tiniest config, one
 #      iteration (scripts/bench_smoke.sh); then the sim hot-path bench,
 #      which guards against a >20% speedup regression vs the committed
-#      BENCH_sim.json (CI_FAST runs it at reduced scale, no guard);
+#      BENCH_sim.json, and the dedup bench, which guards the Fig. 14
+#      trace's bytes-moved reduction vs the committed BENCH_dedup.json
+#      (CI_FAST runs both at reduced scale, no guard);
 #   3. trace smoke: a traced benchmark run must emit loadable Chrome
 #      trace_event JSON + a metrics snapshot at zero simulated-time
 #      cost (the observability layer's contract);
@@ -55,6 +57,10 @@ scripts/bench_smoke.sh
 step "sim hot-path bench (regression guard vs BENCH_sim.json)"
 PYTHONPATH=src python -m pytest \
     "benchmarks/bench_sim_hotpath.py::test_sim_hotpath_fleet" -q
+
+step "dedup bench (bytes-moved regression guard vs BENCH_dedup.json)"
+PYTHONPATH=src python -m pytest \
+    "benchmarks/bench_dedup.py::test_dedup_fig14_trace" -q
 
 step "traced-run smoke (Chrome trace + metrics, zero-cost)"
 TRACE_DIR="$(mktemp -d)"

@@ -13,11 +13,17 @@ than ~100 %.
 The barrier is not optional: skipping it would let the optimizer update
 race the one-sided reads, and the RDMA layer would deliver torn content
 (tests assert exactly that).
+
+Instead of a fixed *frequency*, the async policy can be driven by an
+:class:`~repro.ops.policy.AdaptiveIntervalController`: each iteration it
+asks the controller for the current Young/Daly-optimal frequency (so
+operator-reported failures shorten the interval mid-run), and it feeds
+every measured barrier stall back as the checkpoint-cost input.
 """
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import Generator, List, Optional, Tuple
 
 from repro.core.client import ModelSession
 from repro.dnn.training import CheckpointHook, TrainingJob
@@ -51,23 +57,50 @@ class PortusSyncPolicy(CheckpointHook):
 
 
 class PortusAsyncPolicy(CheckpointHook):
-    """Asynchronous Portus checkpointing overlapped with F+B."""
+    """Asynchronous Portus checkpointing overlapped with F+B.
+
+    Pass either a fixed *frequency* or an adaptive *controller*
+    (:class:`~repro.ops.policy.AdaptiveIntervalController`).  With a
+    controller the effective frequency is re-evaluated every iteration
+    — a failure the operator reports mid-run shortens the interval for
+    the very next decision — and each checkpoint's measured barrier
+    stall is fed back as the Young cost input (a fully hidden
+    checkpoint reports cost 0, which correctly pushes the interval
+    toward its lower clamp).
+    """
 
     def __init__(self, env: Environment, sessions: List[ModelSession],
-                 frequency: int) -> None:
-        if frequency < 1:
+                 frequency: Optional[int] = None,
+                 controller=None) -> None:
+        if (frequency is None) == (controller is None):
+            raise ValueError(
+                "need exactly one of frequency / controller")
+        if frequency is not None and frequency < 1:
             raise ValueError(f"frequency must be >= 1, got {frequency}")
         self.env = env
         self.sessions = sessions
         self.frequency = frequency
+        self.controller = controller
         self._outstanding: List = []
+        self._last_fired = 0
         self.checkpoints_taken = 0
         self.stall_ns = 0
         self.barrier_waits = 0
+        #: Controller-driven decisions: (iteration, effective frequency).
+        self.frequencies_used: List[Tuple[int, int]] = []
+
+    def current_frequency(self, job: TrainingJob) -> int:
+        if self.controller is None:
+            return self.frequency
+        return self.controller.frequency(job.iteration_ns, self.env.now)
 
     def after_update(self, job: TrainingJob, iteration: int) -> Generator:
-        if iteration % self.frequency:
+        frequency = self.current_frequency(job)
+        if self.controller is not None:
+            self.frequencies_used.append((iteration, frequency))
+        if iteration - self._last_fired < frequency:
             return
+        self._last_fired = iteration
         # Fire and continue: the pull overlaps the next F+B window.
         self._outstanding = [
             self.env.process(session.checkpoint(iteration),
@@ -83,11 +116,15 @@ class PortusAsyncPolicy(CheckpointHook):
         if not self._outstanding:
             return
         pending = [p for p in self._outstanding if not p.triggered]
+        stall = 0
         if pending:
             start = self.env.now
             yield AllOf(self.env, pending)
-            self.stall_ns += self.env.now - start
+            stall = self.env.now - start
+            self.stall_ns += stall
             self.barrier_waits += 1
+        if self.controller is not None:
+            self.controller.observe_checkpoint_cost(stall)
         self._outstanding = []
 
     def on_job_end(self, job: TrainingJob) -> Generator:

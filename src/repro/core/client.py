@@ -51,7 +51,8 @@ class ModelSession:
                  conn, qp, mrs: List,
                  tensor_infos: Optional[List[Dict[str, Any]]] = None,
                  retry: Optional[RetryPolicy] = None,
-                 num_qps: int = 1) -> None:
+                 num_qps: int = 1,
+                 dedup_chunk_bytes: Optional[int] = None) -> None:
         if num_qps < 1:
             raise PortusError(f"num_qps must be >= 1, got {num_qps}")
         self.client = client
@@ -64,6 +65,11 @@ class ModelSession:
         self.mrs = mrs
         self.tensor_infos = tensor_infos
         self.retry = retry
+        #: Dedup mode: checkpoints carry a chunk manifest computed over
+        #: this fixed chunk size; None = the classic contiguous layout.
+        self.dedup_chunk_bytes = dedup_chunk_bytes
+        self._chunk_spans = None
+        self._manifest_cache: Optional[List[bytes]] = None
         self.checkpoints = 0
         self.last_checkpoint_ns: Optional[int] = None
         self.retries = 0
@@ -270,12 +276,55 @@ class ModelSession:
             self.conn = conn
             self.qps = client_qps
             self._pending.clear()
+            dedup = None
+            if self.dedup_chunk_bytes is not None:
+                dedup = {"chunk_bytes": self.dedup_chunk_bytes}
             message, size = protocol.register(self.model.name,
-                                              self.tensor_infos, server_qps)
+                                              self.tensor_infos, server_qps,
+                                              dedup=dedup)
             reply = yield from self._rpc(message, size)
             self._check(reply, protocol.OP_REGISTERED)
         self.reattaches += 1
         obs.metrics.counter("client.reattaches").inc()
+
+    # -- dedup manifest -----------------------------------------------------------
+
+    def _spans(self):
+        """Chunk spans over the model's laid-out region (computed once:
+        tensor addresses and shapes are fixed for the life of the job)."""
+        if self._chunk_spans is None:
+            from repro.core.dedup import chunk_spans
+            from repro.core.index import layout_tensors
+
+            descriptors, region_size = layout_tensors(
+                [tensor.spec for tensor in self.model.tensors])
+            self._chunk_spans = chunk_spans(descriptors, region_size,
+                                            self.dedup_chunk_bytes)
+        return self._chunk_spans
+
+    def compute_manifest(self) -> List[bytes]:
+        """The chunk-digest manifest of the model's current bytes.
+
+        Per-tensor dirty tracking bounds the hashing work: only chunks
+        overlapping a tensor written since the last acked checkpoint are
+        re-digested; the rest come from the cached previous manifest.
+        """
+        from repro.core.dedup import (chunk_content, chunk_digest,
+                                      manifest_digests)
+
+        spans = self._spans()
+        contents = {tensor.name: tensor.content()
+                    for tensor in self.model.tensors}
+        if self._manifest_cache is None:
+            return manifest_digests(spans, contents)
+        manifest = list(self._manifest_cache)
+        dirty = {tensor.name for tensor in self.model.tensors
+                 if tensor.dirty}
+        for span in spans:
+            if any(piece.tensor in dirty for piece in span.pieces):
+                manifest[span.index] = chunk_digest(
+                    chunk_content(span, contents))
+        return manifest
 
     # -- operations ---------------------------------------------------------------
 
@@ -288,15 +337,27 @@ class ModelSession:
         copying from the previous one locally on PMem — incremental
         checkpointing for fine-tuning-style workloads where most
         parameters are frozen.
+
+        Dedup sessions instead ship a chunk manifest (digests over the
+        whole region, recomputed only where the dirty flags say bytes
+        changed); the daemon pulls just the chunks its store is missing.
         """
         if step is None:
             step = self.model.step
+        manifest = None
+        if self.dedup_chunk_bytes is not None:
+            manifest = self.compute_manifest()
         reply = yield from self._call(
             lambda: protocol.do_checkpoint(self.model.name, step,
-                                           dirty=dirty),
+                                           dirty=dirty, manifest=manifest),
             protocol.OP_CHECKPOINT_DONE)
         self.checkpoints += 1
         self.last_checkpoint_ns = reply["duration_ns"]
+        if manifest is not None:
+            # Acked: the daemon holds these exact bytes, so the manifest
+            # is now the valid delta baseline.
+            self._manifest_cache = manifest
+            self.model.clear_dirty()
         return reply
 
     def restore(self) -> Generator:
@@ -370,7 +431,8 @@ class PortusClient:
         self.obs = obs if obs is not None else daemon.obs
         self.sessions: List[ModelSession] = []
 
-    def register(self, model: ModelInstance) -> Generator:
+    def register(self, model: ModelInstance, dedup: bool = False,
+                 chunk_bytes: Optional[int] = None) -> Generator:
         """Process: register *model* (or attach to its persisted index).
 
         Registers one MR per tensor (PeerMem must be enabled for the GPU
@@ -378,7 +440,20 @@ class PortusClient:
         description packet.  With a retry policy the attach itself rides
         the same backoff loop as every other request (the daemon may be
         restarting at registration time).
+
+        With ``dedup=True`` the model uses the deduplicated layout:
+        checkpoints ship content-hash chunk manifests and the daemon
+        stores bytes once in the pool-wide refcounted chunk store
+        (*chunk_bytes* overrides the default chunk size).
         """
+        dedup_chunk_bytes = None
+        if dedup:
+            if chunk_bytes is None:
+                from repro.pmem.chunks import DEFAULT_CHUNK_BYTES
+                chunk_bytes = DEFAULT_CHUNK_BYTES
+            dedup_chunk_bytes = int(chunk_bytes)
+        elif chunk_bytes is not None:
+            raise PortusError("chunk_bytes requires dedup=True")
         mrs = []
         tensor_infos = []
         for tensor in model.tensors:
@@ -394,7 +469,8 @@ class PortusClient:
             })
         session = ModelSession(self, model, None, None, mrs,
                                tensor_infos=tensor_infos, retry=self.retry,
-                               num_qps=self.num_qps)
+                               num_qps=self.num_qps,
+                               dedup_chunk_bytes=dedup_chunk_bytes)
         policy = self.retry
         start = self.env.now
         attempt = 0

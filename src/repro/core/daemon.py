@@ -52,9 +52,11 @@ from typing import Dict, Generator, List, Optional
 from repro.core import protocol
 from repro.core.consistency import (abort_checkpoint, begin_checkpoint,
                                     commit_checkpoint, valid_checkpoint)
+from repro.core.dedup import chunk_spans
 from repro.core.engine import (ENGINE_CHUNK_BYTES, IngestLimiter,
-                               LocalCopyEngine, TransferEngine)
-from repro.core.index import ModelMeta, ModelTable
+                               LocalCopyEngine, TransferEngine, WorkItem)
+from repro.core.index import (FLAG_DONE, ModelMeta, ModelTable,
+                              region_extent)
 from repro.core.modelmap import ModelMap
 from repro.dnn.tensor import TensorSpec
 from repro.dnn.dtypes import DType
@@ -96,6 +98,9 @@ class ModelEntry:
         self.client_tensors: Optional[List[Dict]] = None
         self.version_mrs: List = [None, None]
         self.busy = False  # the compare-and-swap guard
+        #: Dedup models: the region's chunk spans (derived once from the
+        #: persisted MIndex — the same cut the client hashes over).
+        self.chunk_spans = None
         self.last_seen_ns = 0
         #: The worker process currently holding the CAS guard, if any —
         #: the interrupt target for lease expiry and daemon death.
@@ -167,6 +172,11 @@ class PortusDaemon:
         self.checkpoints_completed = 0
         self.restores_completed = 0
         self.bytes_pulled = 0
+        #: Bytes the completed checkpoints *represent* — for dedup models
+        #: the full region per checkpoint, however few chunk bytes
+        #: actually moved.  ``bytes_pulled / bytes_logical`` is the
+        #: dedup transfer ratio.
+        self.bytes_logical = 0
         self.bytes_pushed = 0
         self.dropped_replies = 0
         self.reaped_sessions = 0
@@ -449,6 +459,7 @@ class PortusDaemon:
     def _handle_register(self, message: Dict) -> Generator:
         name = message["model"]
         tensors = message["tensors"]
+        dedup = message.get("dedup")
         # Multi-QP REGISTER: the client may bring a whole stripe set; a
         # legacy single-QP packet is a stripe set of one.
         qps = message.get("qps") or [message["qp"]]
@@ -458,19 +469,34 @@ class PortusDaemon:
         ]
         entry = self.model_map.get(name)
         if entry is None:
-            meta = ModelMeta.create(self.pool, name, specs)
+            if dedup is not None:
+                from repro.pmem.chunks import ChunkStore
+
+                chunk_bytes = int(dedup["chunk_bytes"])
+                # The chunk store is pool-wide; first dedup model formats
+                # it and later ones must agree on the chunk size.
+                ChunkStore.ensure(self.pool, chunk_bytes=chunk_bytes)
+                meta = ModelMeta.create_dedup(self.pool, name, specs,
+                                              chunk_bytes)
+            else:
+                meta = ModelMeta.create(self.pool, name, specs)
             entry = ModelEntry(meta)
             self.model_map.insert(name, entry)
             self.table.insert(name, meta.meta.addr)
         else:
             self._validate_attach(entry, specs)
+            self._validate_dedup_attach(entry, dedup)
             # A repacked model may be missing a version slot; rebuild it.
             entry.meta.ensure_regions()
-        # (Re-)register the server-side MRs over both TensorData versions.
-        for version in (0, 1):
-            if entry.version_mrs[version] is None:
-                entry.version_mrs[version] = yield from \
-                    self.node.nic.register_mr(entry.meta.data_region(version))
+        # (Re-)register the server-side MRs over both TensorData versions
+        # (dedup models have none: their bytes live in per-chunk extents
+        # whose MRs are registered per operation).
+        if not entry.meta.dedup:
+            for version in (0, 1):
+                if entry.version_mrs[version] is None:
+                    entry.version_mrs[version] = yield from \
+                        self.node.nic.register_mr(
+                            entry.meta.data_region(version))
         entry.qps = list(qps)
         entry.client_tensors = tensors
         entry.last_seen_ns = self.env.now
@@ -490,6 +516,33 @@ class PortusDaemon:
                 raise PortusError(
                     f"{index.model_name}: tensor {spec.name!r} does not "
                     f"match the persisted index entry {descriptor.name!r}")
+
+    @staticmethod
+    def _validate_dedup_attach(entry: ModelEntry,
+                               dedup: Optional[Dict]) -> None:
+        name = entry.meta.mindex.model_name
+        if entry.meta.dedup != (dedup is not None):
+            have = "dedup" if entry.meta.dedup else "contiguous"
+            want = "dedup" if dedup is not None else "contiguous"
+            raise PortusError(
+                f"{name}: attach requests the {want} layout but the "
+                f"persisted model uses the {have} layout")
+        if dedup is not None and \
+                int(dedup["chunk_bytes"]) != entry.meta.chunk_bytes:
+            raise PortusError(
+                f"{name}: attach with chunk_bytes="
+                f"{int(dedup['chunk_bytes'])}, persisted model uses "
+                f"{entry.meta.chunk_bytes}")
+
+    def _dedup_spans(self, entry: ModelEntry):
+        """The region's chunk spans (cached per entry; the MIndex is
+        immutable for the life of the model)."""
+        if entry.chunk_spans is None:
+            descriptors = entry.meta.mindex.descriptors
+            entry.chunk_spans = chunk_spans(descriptors,
+                                            region_extent(descriptors),
+                                            entry.meta.chunk_bytes)
+        return entry.chunk_spans
 
     # -- the datapath engine -------------------------------------------------------
 
@@ -518,6 +571,8 @@ class PortusDaemon:
         step = message["step"]
         dirty = message.get("dirty")
         entry = self._entry(name)
+        if entry.meta.dedup:
+            return (yield from self._handle_checkpoint_dedup(message, entry))
         if not entry.attached:
             raise NotAttached(f"{name}: no attached client to pull from")
         self._claim(entry)
@@ -599,6 +654,164 @@ class PortusDaemon:
                               step=step, version=target,
                               duration_ns=duration, bytes_pulled=pulled)
 
+    def _handle_checkpoint_dedup(self, message: Dict,
+                                 entry: ModelEntry) -> Generator:
+        """Dedup checkpoint: pull only the chunks absent from the store.
+
+        Crash-safe ordering (every window leak-only, verified by the
+        crash-point sweep):
+
+        1. begin_checkpoint stamps the target slot ACTIVE;
+        2. missing chunks are pulled into freshly reserved extents and
+           persisted — committed-but-unindexed extents, reclaimed by
+           fsck's leak scan on a crash;
+        3. ``ChunkStore.apply`` commits the whole reference delta (new
+           entries + shared-chunk increments) in ONE record write;
+        4. the target manifest record is written, the slot committed
+           DONE;
+        5. only then is the overwritten version's old manifest
+           unreferenced — and only if the slot was DONE *before* the
+           begin (a non-DONE slot's references were never certainly
+           counted; dropping them could over-free a shared chunk).
+        """
+        from repro.pmem.chunks import ChunkStore
+
+        name = message["model"]
+        step = message["step"]
+        manifest = message.get("manifest")
+        if manifest is None:
+            raise ProtocolError(
+                f"{name}: dedup model checkpoints need a chunk manifest")
+        if not entry.attached:
+            raise NotAttached(f"{name}: no attached client to pull from")
+        self._claim(entry)
+        qps = list(entry.qps)
+        trace_id = protocol.trace_of(message)
+        started = self.env.now
+        new_extents = []  # (digest, extent, mr) reserved this checkpoint
+        applied = False
+        try:
+            store = ChunkStore.ensure(self.pool,
+                                      chunk_bytes=entry.meta.chunk_bytes)
+            spans = self._dedup_spans(entry)
+            if len(manifest) != len(spans):
+                raise ProtocolError(
+                    f"{name}: manifest carries {len(manifest)} digests, "
+                    f"the region has {len(spans)} chunks")
+            clients = {c["name"]: c for c in entry.client_tensors}
+            flags_before = entry.meta.read_flags()
+            was_done = None
+            target = None
+            try:
+                with self.obs.tracer.span(self.env, "ckpt.begin",
+                                          cat="ckpt", trace_id=trace_id,
+                                          track="daemon", model=name):
+                    target = begin_checkpoint(entry.meta)
+                was_done = flags_before.states[target] == FLAG_DONE
+                old_manifest = (entry.meta.read_manifest(target)
+                                if was_done else [])
+                counts: Dict[bytes, int] = {}
+                for digest in manifest:
+                    counts[digest] = counts.get(digest, 0) + 1
+                missing = []  # (digest, span), region order, unique
+                seen = set()
+                for digest, span in zip(manifest, spans):
+                    if digest in seen:
+                        continue
+                    seen.add(digest)
+                    if store.lookup(digest) is None:
+                        missing.append((digest, span))
+                new_set = {digest for digest, _span in missing}
+                items = []
+                for digest, span in missing:
+                    extent = store.alloc_chunk(digest, span.size)
+                    mr = yield from self.node.nic.register_mr(extent)
+                    new_extents.append((digest, extent, mr))
+                    label = digest.hex()[:8]
+                    for piece in span.pieces:
+                        client = clients[piece.tensor]
+                        done = 0
+                        while done < piece.length:
+                            length = piece.length - done
+                            if self.engine_chunk_bytes is not None:
+                                length = min(length, self.engine_chunk_bytes)
+                            items.append(WorkItem(
+                                f"{label}:{piece.tensor}",
+                                piece.span_offset + done,
+                                client["addr"] + piece.tensor_offset + done,
+                                client["rkey"], length, mr=mr))
+                            done += length
+                pulled = 0
+                if items:
+                    engine = self._engine(qps, ingest=True,
+                                          trace_id=trace_id)
+                    try:
+                        pulled = yield from engine.pull_items(
+                            items, f"pull:{name}")
+                    except ReproError:
+                        engine.abort()
+                        raise
+                if self.pool.closed:
+                    raise PortusError(
+                        f"{name}: server crashed during checkpoint")
+                with self.obs.tracer.span(self.env, "ckpt.persist_commit",
+                                          cat="ckpt", trace_id=trace_id,
+                                          track="daemon", model=name):
+                    for _digest, extent, _mr in new_extents:
+                        extent.persist()
+                    yield self.env.timeout(FLUSH_BARRIER_NS)
+                    store.apply(
+                        [(digest, extent, counts[digest])
+                         for digest, extent, _mr in new_extents],
+                        {digest: count for digest, count in counts.items()
+                         if digest not in new_set})
+                    applied = True
+                    entry.meta.write_manifest(target, manifest)
+                    commit_checkpoint(entry.meta, target, step)
+                if was_done and old_manifest:
+                    store.unref(old_manifest)
+            except ReproError:
+                self.obs.metrics.counter("daemon.checkpoints_aborted").inc()
+                if not self.pool.closed and target is not None \
+                        and not applied:
+                    # The target slot's manifest is untouched and the new
+                    # chunks are still private (no ChunkTable entry), so
+                    # the slot rolls back clean and the reserved extents
+                    # are simply released.
+                    abort_checkpoint(entry.meta, target, data_dirty=False)
+                    for _digest, extent, mr in new_extents:
+                        if mr.valid:
+                            self.node.nic.deregister_mr(mr)
+                        self.pool.free(extent)
+                    new_extents = []
+                raise
+        finally:
+            for _digest, _extent, mr in new_extents:
+                if mr.valid:
+                    self.node.nic.deregister_mr(mr)
+            self._release(entry)
+        duration = self.env.now - started
+        self.ledger.add("rdma_pull", duration)
+        logical = entry.meta.mindex.total_bytes
+        chunks_new = len(new_extents)
+        chunks_shared = len(manifest) - sum(
+            counts[digest] for digest, _e, _m in new_extents)
+        self.checkpoints_completed += 1
+        self.bytes_pulled += pulled
+        self.bytes_logical += logical
+        self.obs.metrics.counter("daemon.checkpoints_completed").inc()
+        self.obs.metrics.counter("daemon.bytes_pulled").inc(pulled)
+        self.obs.metrics.counter("daemon.bytes_logical").inc(logical)
+        self.obs.metrics.counter("daemon.chunks_new").inc(chunks_new)
+        self.obs.metrics.counter("daemon.chunks_shared").inc(chunks_shared)
+        self.obs.metrics.histogram(
+            "daemon.checkpoint_latency_ns").record(duration)
+        return protocol.reply(protocol.OP_CHECKPOINT_DONE, model=name,
+                              step=step, version=target,
+                              duration_ns=duration, bytes_pulled=pulled,
+                              bytes_logical=logical, chunks_new=chunks_new,
+                              chunks_shared=chunks_shared)
+
     def _copy_clean_tensors(self, entry: ModelEntry, source: int,
                             target: int, descriptors) -> Generator:
         """Incremental mode: complete the new version by copying the
@@ -626,6 +839,8 @@ class PortusDaemon:
     def _handle_restore(self, message: Dict) -> Generator:
         name = message["model"]
         entry = self._entry(name)
+        if entry.meta.dedup:
+            return (yield from self._handle_restore_dedup(message, entry))
         if not entry.attached:
             raise NotAttached(f"{name}: no attached client to push to")
         self._claim(entry)
@@ -652,6 +867,93 @@ class PortusDaemon:
             if self.pool.closed:
                 raise PortusError(f"{name}: server crashed during restore")
         finally:
+            self._release(entry)
+        duration = self.env.now - started
+        self.ledger.add("rdma_push", duration)
+        self.restores_completed += 1
+        self.bytes_pushed += pushed
+        self.obs.metrics.counter("daemon.restores_completed").inc()
+        self.obs.metrics.counter("daemon.bytes_pushed").inc(pushed)
+        self.obs.metrics.histogram(
+            "daemon.restore_latency_ns").record(duration)
+        return protocol.reply(protocol.OP_RESTORE_DONE, model=name,
+                              step=step, version=version,
+                              duration_ns=duration, bytes_pushed=pushed)
+
+    def _handle_restore_dedup(self, message: Dict,
+                              entry: ModelEntry) -> Generator:
+        """Dedup restore: reassemble the newest DONE version from the
+        chunk store and push it back — bit-exact, straight from the
+        shared extents (ephemeral per-chunk MRs, one stripe set)."""
+        from repro.pmem.chunks import ChunkStore
+
+        name = message["model"]
+        if not entry.attached:
+            raise NotAttached(f"{name}: no attached client to push to")
+        self._claim(entry)
+        qps = list(entry.qps)
+        trace_id = protocol.trace_of(message)
+        started = self.env.now
+        mrs = []
+        try:
+            store = ChunkStore.attach(self.pool)
+            if store is None:
+                raise PortusError(
+                    f"{name}: dedup model but the pool has no chunk store")
+            version, step = valid_checkpoint(entry.meta)
+            manifest = entry.meta.read_manifest(version)
+            spans = self._dedup_spans(entry)
+            if len(manifest) != len(spans):
+                raise PortusError(
+                    f"{name}: version {version} manifest carries "
+                    f"{len(manifest)} digests, the region has "
+                    f"{len(spans)} chunks")
+            clients = {c["name"]: c for c in entry.client_tensors}
+            mr_by_digest: Dict[bytes, object] = {}
+            items = []
+            for digest, span in zip(manifest, spans):
+                if not span.pieces:
+                    continue
+                mr = mr_by_digest.get(digest)
+                if mr is None:
+                    chunk_entry = store.lookup(digest)
+                    if chunk_entry is None:
+                        raise PortusError(
+                            f"{name}: chunk {digest.hex()[:12]} missing "
+                            f"from the store")
+                    allocation = store.allocation_of(chunk_entry)
+                    mr = yield from self.node.nic.register_mr(allocation)
+                    mr_by_digest[digest] = mr
+                    mrs.append(mr)
+                label = digest.hex()[:8]
+                for piece in span.pieces:
+                    client = clients[piece.tensor]
+                    done = 0
+                    while done < piece.length:
+                        length = piece.length - done
+                        if self.engine_chunk_bytes is not None:
+                            length = min(length, self.engine_chunk_bytes)
+                        items.append(WorkItem(
+                            f"{label}:{piece.tensor}",
+                            piece.span_offset + done,
+                            client["addr"] + piece.tensor_offset + done,
+                            client["rkey"], length, mr=mr))
+                        done += length
+            engine = self._engine(qps, ingest=False, trace_id=trace_id)
+            try:
+                pushed = yield from engine.push_items(items, f"push:{name}")
+            except ReproError:
+                # A restore mutates nothing on PMem; flush the stripe set
+                # so late WRs cannot land stale bytes post-reattach.
+                engine.abort()
+                self.obs.metrics.counter("daemon.restores_aborted").inc()
+                raise
+            if self.pool.closed:
+                raise PortusError(f"{name}: server crashed during restore")
+        finally:
+            for mr in mrs:
+                if mr.valid:
+                    self.node.nic.deregister_mr(mr)
             self._release(entry)
         duration = self.env.now - started
         self.ledger.add("rdma_push", duration)

@@ -1,0 +1,111 @@
+"""Content-hash chunking shared by client and daemon.
+
+A dedup model's TensorData region is cut into fixed-size *chunks*
+(the last one short).  A chunk's bytes are the region bytes it covers:
+tensor slices where tensors overlap it, zeros in the alignment gaps
+between tensors.  Both sides derive the same spans from the same
+descriptor list (:func:`~repro.core.index.layout_tensors` output), so a
+digest computed by the client over its GPU-resident tensor contents
+identifies exactly the bytes the daemon would land in the chunk extent.
+
+The digest is a SHA-1 over the chunk content's canonical
+:meth:`~repro.hw.content.Content.fingerprint` — exact content identity
+without materializing multi-GB tensors (the same property
+``PatternContent`` gives equality checks).  Canonicalization
+(:func:`repro.hw.content.concat`) guarantees two identical byte strings
+built from different slice lists fingerprint identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from repro.hw.content import Content, ZeroContent, concat
+
+
+class ChunkPiece:
+    """One tensor's overlap with a chunk."""
+
+    __slots__ = ("tensor", "tensor_offset", "span_offset", "length")
+
+    def __init__(self, tensor: str, tensor_offset: int, span_offset: int,
+                 length: int) -> None:
+        self.tensor = tensor
+        self.tensor_offset = tensor_offset
+        self.span_offset = span_offset
+        self.length = length
+
+    def __repr__(self) -> str:
+        return f"<ChunkPiece {self.tensor}+{self.tensor_offset} " \
+               f"-> +{self.span_offset} len={self.length}>"
+
+
+class ChunkSpan:
+    """One chunk of the region: its extent and the tensor pieces in it."""
+
+    __slots__ = ("index", "start", "size", "pieces")
+
+    def __init__(self, index: int, start: int, size: int,
+                 pieces: List[ChunkPiece]) -> None:
+        self.index = index
+        self.start = start
+        self.size = size
+        self.pieces = pieces
+
+    def __repr__(self) -> str:
+        return f"<ChunkSpan #{self.index} [{self.start}, " \
+               f"{self.start + self.size}) pieces={len(self.pieces)}>"
+
+
+def chunk_spans(descriptors, region_size: int,
+                chunk_bytes: int) -> List[ChunkSpan]:
+    """Cut a laid-out region into chunk spans with tensor overlaps."""
+    if chunk_bytes <= 0:
+        raise ValueError(f"bad chunk size {chunk_bytes}")
+    spans: List[ChunkSpan] = []
+    count = (region_size + chunk_bytes - 1) // chunk_bytes
+    for index in range(count):
+        start = index * chunk_bytes
+        size = min(chunk_bytes, region_size - start)
+        spans.append(ChunkSpan(index, start, size, []))
+    for descriptor in descriptors:
+        t_start = descriptor.offset
+        t_end = descriptor.offset + descriptor.size
+        if descriptor.size == 0:
+            continue
+        for index in range(t_start // chunk_bytes,
+                           (t_end - 1) // chunk_bytes + 1):
+            span = spans[index]
+            lo = max(t_start, span.start)
+            hi = min(t_end, span.start + span.size)
+            span.pieces.append(ChunkPiece(
+                descriptor.name, lo - t_start, lo - span.start, hi - lo))
+    return spans
+
+
+def chunk_content(span: ChunkSpan,
+                  contents: Dict[str, Content]) -> Content:
+    """The canonical bytes of *span*: tensor slices plus zero gaps."""
+    parts: List[Content] = []
+    cursor = 0
+    for piece in span.pieces:
+        if piece.span_offset > cursor:
+            parts.append(ZeroContent(piece.span_offset - cursor))
+        parts.append(contents[piece.tensor].slice(piece.tensor_offset,
+                                                  piece.length))
+        cursor = piece.span_offset + piece.length
+    if cursor < span.size:
+        parts.append(ZeroContent(span.size - cursor))
+    return concat(parts)
+
+
+def chunk_digest(content: Content) -> bytes:
+    """20-byte identity of a chunk's canonical content."""
+    return hashlib.sha1(repr(content.fingerprint()).encode()).digest()
+
+
+def manifest_digests(spans: List[ChunkSpan],
+                     contents: Dict[str, Content]) -> List[bytes]:
+    """One digest per chunk, in region order — the checkpoint manifest."""
+    return [chunk_digest(chunk_content(span, contents)) for span in spans]

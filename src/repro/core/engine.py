@@ -51,17 +51,24 @@ ENGINE_CHUNK_BYTES = mib(4)
 
 
 class WorkItem:
-    """One WR to post: a whole tensor or a segment of one."""
+    """One WR to post: a whole tensor or a segment of one.
 
-    __slots__ = ("name", "local_offset", "remote_addr", "rkey", "size")
+    *mr* optionally overrides the operation-wide local MR: the dedup
+    datapath pulls each missing chunk into its own extent's MR while
+    sibling items target other extents, all within one stripe set.
+    """
+
+    __slots__ = ("name", "local_offset", "remote_addr", "rkey", "size",
+                 "mr")
 
     def __init__(self, name: str, local_offset: int, remote_addr: int,
-                 rkey: int, size: int) -> None:
+                 rkey: int, size: int, mr=None) -> None:
         self.name = name
         self.local_offset = local_offset
         self.remote_addr = remote_addr
         self.rkey = rkey
         self.size = size
+        self.mr = mr
 
     def __repr__(self) -> str:
         return f"<WorkItem {self.name} +{self.local_offset} " \
@@ -263,6 +270,20 @@ class TransferEngine:
         return (yield from self._run("write", region_mr, pairs,
                                      label_prefix))
 
+    def pull_items(self, items: List[WorkItem],
+                   label_prefix: str) -> Generator:
+        """Process: RDMA-READ pre-built work items (each carrying its
+        own local MR); returns the bytes pulled."""
+        return (yield from self._run("read", None, None, label_prefix,
+                                     items=items))
+
+    def push_items(self, items: List[WorkItem],
+                   label_prefix: str) -> Generator:
+        """Process: RDMA-WRITE pre-built work items (each carrying its
+        own local MR); returns the bytes pushed."""
+        return (yield from self._run("write", None, None, label_prefix,
+                                     items=items))
+
     def abort(self) -> None:
         """Stop posting and flush every QP of the stripe set.
 
@@ -277,9 +298,10 @@ class TransferEngine:
 
     # -- core --------------------------------------------------------------------
 
-    def _run(self, kind: str, region_mr, pairs,
-             label_prefix: str) -> Generator:
-        items = build_items(pairs, self.chunk_bytes)
+    def _run(self, kind: str, region_mr, pairs, label_prefix: str,
+             items: Optional[List[WorkItem]] = None) -> Generator:
+        if items is None:
+            items = build_items(pairs, self.chunk_bytes)
         if not items:
             return 0
         queues = stripe_items(items, len(self.qps), self.largest_first)
@@ -318,7 +340,8 @@ class TransferEngine:
               label_prefix: str):
         verb = qp.read if kind == "read" else qp.write
         self.posted_wrs += 1
-        event = verb(region_mr, item.local_offset, item.rkey,
+        local_mr = item.mr if item.mr is not None else region_mr
+        event = verb(local_mr, item.local_offset, item.rkey,
                      item.remote_addr, item.size,
                      label=f"{label_prefix}:{item.name}")
         # The lane may yield (stream token, per-WR CPU) between posting

@@ -47,10 +47,23 @@ _FLAGS_SLOT = blob_capacity(_FLAGS.size) + 32  # headroom inside the slot
 # rounded up by the pool — so a reader never probes the B slot at the
 # wrong offset.  The header is persisted before the model becomes
 # reachable from the ModelTable, so it is crash-atomic by construction.
+#
+# Layout version 1 is the contiguous-TensorData layout (two data extents
+# per model).  Version 2 is the deduplicated layout: no data extents —
+# each version slot instead carries a *chunk manifest* record listing
+# the content digests that reassemble the region from the pool-wide
+# refcounted chunk store (:mod:`repro.pmem.chunks`).  The v2 header
+# extends v1 with the manifest slot size and the chunk size; v1 regions
+# keep their exact byte layout.
 _META_HEADER = struct.Struct("<IIII")  # magic, version, flags_slot, mindex_slot
+_META_HEADER_V2 = struct.Struct("<IIIIIQ")  # ... + manifest_slot, chunk_bytes
 _META_MAGIC = 0x4D455441  # "META"
 _META_LAYOUT_VERSION = 1
+_META_LAYOUT_VERSION_DEDUP = 2
 _META_HEADER_SIZE = 64  # header struct, padded to the data alignment
+
+_MANIFEST_COUNT = struct.Struct("<I")
+_DIGEST_BYTES = 20
 
 _MINDEX_HEADER = struct.Struct("<64sIQQQ")  # name, count, v0, v1, total
 _TENSOR_ENTRY = struct.Struct("<64s16sB8QQQ")  # name, dtype, ndim, dims, size, offset
@@ -125,6 +138,16 @@ def layout_tensors(specs: List[TensorSpec]) -> Tuple[List[TensorDescriptor],
         descriptors.append(TensorDescriptor.from_spec(spec, cursor))
         cursor += (spec.size_bytes + _ALIGN - 1) // _ALIGN * _ALIGN
     return descriptors, max(cursor, _ALIGN)
+
+
+def region_extent(descriptors: List[TensorDescriptor]) -> int:
+    """The TensorData region size a descriptor list occupies (the same
+    value :func:`layout_tensors` returned when the offsets were assigned)."""
+    cursor = 0
+    for descriptor in descriptors:
+        end = descriptor.offset + descriptor.size
+        cursor = max(cursor, (end + _ALIGN - 1) // _ALIGN * _ALIGN)
+    return max(cursor, _ALIGN)
 
 
 class MIndex:
@@ -221,7 +244,9 @@ class ModelMeta:
                  mindex: MIndex, data_regions: Tuple[Allocation,
                                                      Allocation],
                  flags_slot: int = _FLAGS_SLOT,
-                 mindex_slot: Optional[int] = None) -> None:
+                 mindex_slot: Optional[int] = None,
+                 manifest_slot: int = 0,
+                 chunk_bytes: int = 0) -> None:
         self.pool = pool
         self.meta = meta
         self.mindex = mindex
@@ -229,10 +254,29 @@ class ModelMeta:
         self.flags_slot = flags_slot
         self.mindex_slot = (mindex_slot if mindex_slot is not None
                             else MIndex.slot_size(mindex.layer_count))
+        #: Nonzero only in the deduplicated (layout v2) format.
+        self.manifest_slot = manifest_slot
+        self.chunk_bytes = chunk_bytes
         self._flags_record = CommittedRecord(meta, _META_HEADER_SIZE,
                                              self.flags_slot)
         self._mindex_record = CommittedRecord(
             meta, _META_HEADER_SIZE + 2 * self.flags_slot, self.mindex_slot)
+        self._manifest_records: Tuple[Optional[CommittedRecord],
+                                      Optional[CommittedRecord]]
+        if manifest_slot > 0:
+            base = (_META_HEADER_SIZE + 2 * self.flags_slot
+                    + 2 * self.mindex_slot)
+            self._manifest_records = (
+                CommittedRecord(meta, base, manifest_slot),
+                CommittedRecord(meta, base + 2 * manifest_slot,
+                                manifest_slot))
+        else:
+            self._manifest_records = (None, None)
+
+    @property
+    def dedup(self) -> bool:
+        """True for the deduplicated (chunk-manifest) layout."""
+        return self.manifest_slot > 0
 
     # -- creation / recovery --------------------------------------------------------
 
@@ -265,33 +309,90 @@ class ModelMeta:
         return instance
 
     @staticmethod
-    def read_geometry(meta: Allocation) -> Tuple[int, int]:
-        """The persisted ``(flags_slot, mindex_slot)`` of a meta region.
+    def manifest_slot_size(region_size: int, chunk_bytes: int) -> int:
+        """Slot bytes for one version's chunk-manifest record."""
+        max_chunks = (region_size + chunk_bytes - 1) // chunk_bytes
+        return blob_capacity(_MANIFEST_COUNT.size
+                             + max_chunks * _DIGEST_BYTES) + 32
 
+    @staticmethod
+    def meta_region_size_dedup(tensor_count: int, region_size: int,
+                               chunk_bytes: int) -> int:
+        """Metadata-region bytes for a dedup model (no data extents —
+        instead two manifest records, one per version slot)."""
+        return (_META_HEADER_SIZE + 2 * _FLAGS_SLOT
+                + 2 * MIndex.slot_size(tensor_count)
+                + 4 * ModelMeta.manifest_slot_size(region_size, chunk_bytes))
+
+    @classmethod
+    def create_dedup(cls, pool: PmemPool, model_name: str,
+                     specs: List[TensorSpec],
+                     chunk_bytes: int) -> "ModelMeta":
+        """Allocate a dedup (layout v2) model: metadata region only.
+
+        Version data lives in the pool-wide chunk store; each version
+        slot's manifest record lists the digests that reassemble it.
+        """
+        if chunk_bytes <= 0:
+            raise PmemError(f"bad chunk size {chunk_bytes}")
+        descriptors, region_size = layout_tensors(specs)
+        manifest_slot = cls.manifest_slot_size(region_size, chunk_bytes)
+        meta = pool.alloc(
+            cls.meta_region_size_dedup(len(descriptors), region_size,
+                                       chunk_bytes),
+            tag=f"{META_TAG}/{_short(model_name)}")
+        mindex = MIndex(model_name, descriptors, (0, 0),
+                        sum(d.size for d in descriptors))
+        instance = cls(pool, meta, mindex, (None, None),
+                       manifest_slot=manifest_slot, chunk_bytes=chunk_bytes)
+        meta.write_bytes(0, _META_HEADER_V2.pack(
+            _META_MAGIC, _META_LAYOUT_VERSION_DEDUP, instance.flags_slot,
+            instance.mindex_slot, manifest_slot, chunk_bytes))
+        meta.persist(0, _META_HEADER_V2.size)
+        instance._mindex_record.write(mindex.pack())
+        instance.write_flags(VersionFlags())
+        return instance
+
+    @staticmethod
+    def read_geometry(meta: Allocation) -> Tuple[int, int, int, int]:
+        """The persisted record geometry of a meta region.
+
+        Returns ``(flags_slot, mindex_slot, manifest_slot, chunk_bytes)``
+        — the last two are 0 for the v1 (contiguous TensorData) layout.
         Raises :class:`PmemError` when the header is torn or was never
         written — the region is not (or no longer) a model's metadata.
         """
         try:
-            raw = meta.read_bytes(0, _META_HEADER.size)
+            raw = meta.read_bytes(0, _META_HEADER_V2.size)
         except ValueError as exc:
             raise PmemError(
                 f"meta header unreadable at {meta.addr:#x}") from exc
-        magic, version, flags_slot, mindex_slot = _META_HEADER.unpack(raw)
+        magic, version, flags_slot, mindex_slot = _META_HEADER.unpack_from(raw)
         if magic != _META_MAGIC:
             raise PmemError(
                 f"bad meta header magic {magic:#x} at {meta.addr:#x}")
-        if version != _META_LAYOUT_VERSION:
+        if version == _META_LAYOUT_VERSION:
+            manifest_slot, chunk_bytes = 0, 0
+        elif version == _META_LAYOUT_VERSION_DEDUP:
+            (_magic, _version, flags_slot, mindex_slot, manifest_slot,
+             chunk_bytes) = _META_HEADER_V2.unpack(raw)
+            if manifest_slot <= 0 or chunk_bytes <= 0:
+                raise PmemError(
+                    f"bad dedup meta geometry at {meta.addr:#x}: "
+                    f"manifest_slot={manifest_slot} "
+                    f"chunk_bytes={chunk_bytes}")
+        else:
             raise PmemError(
                 f"unsupported meta layout version {version} "
                 f"at {meta.addr:#x}")
         if flags_slot <= 0 or mindex_slot <= 0 or \
                 _META_HEADER_SIZE + 2 * flags_slot + 2 * mindex_slot \
-                > meta.size:
+                + 4 * manifest_slot > meta.size:
             raise PmemError(
                 f"meta geometry out of bounds at {meta.addr:#x}: "
                 f"flags_slot={flags_slot} mindex_slot={mindex_slot} "
-                f"region={meta.size}")
-        return flags_slot, mindex_slot
+                f"manifest_slot={manifest_slot} region={meta.size}")
+        return flags_slot, mindex_slot, manifest_slot, chunk_bytes
 
     @classmethod
     def open(cls, pool: PmemPool, meta_addr: int,
@@ -311,7 +412,8 @@ class ModelMeta:
         the broken slot.
         """
         meta = pool.device.allocation_at(meta_addr)
-        flags_slot, mindex_slot = cls.read_geometry(meta)
+        flags_slot, mindex_slot, manifest_slot, chunk_bytes = \
+            cls.read_geometry(meta)
         record = CommittedRecord(meta, _META_HEADER_SIZE + 2 * flags_slot,
                                  mindex_slot)
         committed = record.read()
@@ -332,10 +434,15 @@ class ModelMeta:
         data_regions = tuple(resolve(addr)
                              for addr in mindex.version_addrs)
         return cls(pool, meta, mindex, data_regions,
-                   flags_slot=flags_slot, mindex_slot=mindex_slot)
+                   flags_slot=flags_slot, mindex_slot=mindex_slot,
+                   manifest_slot=manifest_slot, chunk_bytes=chunk_bytes)
 
     def ensure_regions(self) -> None:
         """Re-allocate any version slot the repacking tool reclaimed."""
+        if self.dedup:
+            # Dedup models have no per-version data extents: version
+            # bytes live in the shared chunk store.
+            return
         regions = list(self.data_regions)
         changed = False
         for version in (0, 1):
@@ -363,7 +470,18 @@ class ModelMeta:
         extent last (the allocator's own leak-only window).  At no point
         can a DONE flag coexist with a zero or freed version address —
         the ordering bug that used to crash restore-after-restart.
+
+        Dedup models follow the same demote-before-unlink-before-unref
+        ordering with the manifest in place of the data extent: demote
+        the flag, commit an empty manifest, then drop the chunk
+        references (the store frees extents whose count reaches zero).
+        References are dropped only when the slot was DONE before the
+        demote — a non-DONE slot's references were never certainly
+        counted, so they are left for fsck's leak pass rather than
+        risking an over-free.
         """
+        if self.dedup:
+            return self._drop_version_dedup(version)
         region = self.data_regions[version]
         if region is None:
             return 0
@@ -382,6 +500,55 @@ class ModelMeta:
         self.pool.free(region)
         return reclaimed
 
+    def _drop_version_dedup(self, version: int) -> int:
+        from repro.pmem.chunks import ChunkStore
+
+        digests = self.read_manifest(version)
+        flags = self.read_flags()
+        was_done = flags.states[version] == FLAG_DONE
+        if not digests and flags.states[version] == FLAG_EMPTY:
+            return 0
+        flags.states[version] = FLAG_EMPTY
+        flags.steps[version] = 0
+        self.write_flags(flags)
+        self.write_manifest(version, [])
+        if not was_done or not digests:
+            return 0
+        store = ChunkStore.attach(self.pool)
+        if store is None:
+            return 0
+        freed = store.unref(digests)
+        return sum(allocation.size for allocation in freed)
+
+    # -- manifests (dedup layout) ----------------------------------------------------
+
+    def read_manifest(self, version: int) -> List[bytes]:
+        """The chunk digests reassembling *version* (dedup models only)."""
+        record = self._manifest_records[version]
+        if record is None:
+            return []
+        committed = record.read()
+        if committed is None:
+            return []
+        payload = committed[0]
+        (count,) = _MANIFEST_COUNT.unpack_from(payload)
+        base = _MANIFEST_COUNT.size
+        return [payload[base + i * _DIGEST_BYTES:
+                        base + (i + 1) * _DIGEST_BYTES]
+                for i in range(count)]
+
+    def write_manifest(self, version: int, digests: List[bytes]) -> None:
+        record = self._manifest_records[version]
+        if record is None:
+            raise PmemError(
+                f"{self.mindex.model_name}: not a dedup model")
+        payload = _MANIFEST_COUNT.pack(len(digests)) + b"".join(digests)
+        record.write(payload)
+
+    def manifest_record(self, version: int) -> Optional[CommittedRecord]:
+        """The raw manifest record (integrity tooling)."""
+        return self._manifest_records[version]
+
     # -- flags ------------------------------------------------------------------------
 
     def read_flags(self) -> VersionFlags:
@@ -399,11 +566,61 @@ class ModelMeta:
         return self.data_regions[version]
 
     def read_tensor(self, descriptor: TensorDescriptor, version: int):
+        if self.dedup:
+            return self._read_tensor_dedup(descriptor, version)
         return self.data_regions[version].read(descriptor.offset,
                                                descriptor.size)
 
+    def _read_tensor_dedup(self, descriptor: TensorDescriptor, version: int):
+        from repro.hw.content import concat
+        from repro.pmem.chunks import ChunkStore
+
+        store = ChunkStore.attach(self.pool)
+        if store is None:
+            raise PmemError(
+                f"{self.mindex.model_name}: dedup model but the pool "
+                f"has no chunk store")
+        digests = self.read_manifest(version)
+        if not digests:
+            raise PmemError(
+                f"{self.mindex.model_name}: version {version} has no "
+                f"manifest")
+        parts = []
+        start = descriptor.offset
+        end = descriptor.offset + descriptor.size
+        first = start // self.chunk_bytes
+        last = (end - 1) // self.chunk_bytes
+        for index in range(first, last + 1):
+            if index >= len(digests):
+                raise PmemError(
+                    f"{self.mindex.model_name}: manifest too short for "
+                    f"tensor {descriptor.name!r}")
+            entry = store.lookup(digests[index])
+            if entry is None:
+                raise PmemError(
+                    f"{self.mindex.model_name}: chunk "
+                    f"{digests[index].hex()[:12]} missing from the store")
+            chunk_start = index * self.chunk_bytes
+            lo = max(start, chunk_start)
+            hi = min(end, chunk_start + entry.size)
+            allocation = store.allocation_of(entry)
+            parts.append(allocation.read(lo - chunk_start, hi - lo))
+        return concat(parts)
+
     def free(self) -> None:
-        """Release every extent (unregister / repack)."""
+        """Release every extent (unregister / repack).
+
+        Dedup models drop their DONE versions' chunk references first
+        (:meth:`drop_version` ordering), then free the metadata region —
+        their bytes live in the shared store, never in private extents.
+        """
+        if self.dedup:
+            flags = self.read_flags()
+            for version in (0, 1):
+                if flags.states[version] != FLAG_EMPTY:
+                    self.drop_version(version)
+            self.pool.free(self.meta)
+            return
         for region in self.data_regions:
             if region is not None:
                 self.pool.free(region)

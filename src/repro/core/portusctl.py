@@ -68,7 +68,7 @@ def dump(pool: PmemPool, model_name: str) -> Content:
     table = ModelTable.open(pool)
     meta = ModelMeta.open(pool, table.lookup(model_name))
     version, _step = valid_checkpoint(meta)
-    if meta.data_regions[version] is None:
+    if not meta.dedup and meta.data_regions[version] is None:
         raise NoValidCheckpoint(
             f"{model_name}: version {version} was repacked away")
     entries = [(descriptor.to_spec(),

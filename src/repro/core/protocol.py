@@ -48,32 +48,53 @@ def trace_of(message: Dict[str, Any]):
     return message.get(TRACE_KEY)
 
 
+#: Wire bytes one chunk digest adds to a dedup checkpoint request.
+_PER_CHUNK_SIZE = 24
+
+
 def register(model_name: str, tensors: List[Dict[str, Any]],
-             server_qp) -> Tuple[Dict[str, Any], int]:
+             server_qp, dedup: Dict[str, Any] = None
+             ) -> Tuple[Dict[str, Any], int]:
     """The model description packet: one entry per tensor, plus the QP(s)
     the daemon will pull through (standing in for the out-of-band QP
     number exchange of the real system).  *server_qp* may be a single QP
     or a list — the stripe set the client negotiated (``num_qps``); the
-    daemon stripes each transfer across all of them.
+    daemon stripes each transfer across all of them.  *dedup* (e.g.
+    ``{"chunk_bytes": N}``) opts the model into the deduplicated layout:
+    checkpoints then carry chunk manifests and the daemon stores the
+    bytes in the pool-wide refcounted chunk store.
     """
     qps = list(server_qp) if isinstance(server_qp, (list, tuple)) \
         else [server_qp]
     message = {"op": OP_REGISTER, "model": model_name, "tensors": tensors,
                "qp": qps[0], "qps": qps}
-    return message, (_BASE_SIZE + _PER_TENSOR_SIZE * len(tensors)
-                     + _PER_QP_SIZE * (len(qps) - 1))
+    size = (_BASE_SIZE + _PER_TENSOR_SIZE * len(tensors)
+            + _PER_QP_SIZE * (len(qps) - 1))
+    if dedup is not None:
+        message["dedup"] = dict(dedup)
+        size += 16
+    return message, size
 
 
 def do_checkpoint(model_name: str, step: int,
-                  dirty: List[str] = None) -> Tuple[Dict[str, Any], int]:
+                  dirty: List[str] = None,
+                  manifest: List[bytes] = None
+                  ) -> Tuple[Dict[str, Any], int]:
     """*dirty* (optional) lists the tensors that changed since the last
     checkpoint — the incremental mode (Check-N-Run-style); the daemon
-    completes the new version with local copies for the rest."""
+    completes the new version with local copies for the rest.
+
+    *manifest* (dedup models) carries the content digest of every chunk
+    of the would-be region; the daemon pulls only the chunks absent from
+    its store and bumps refcounts for the rest."""
     message = {"op": OP_DO_CHECKPOINT, "model": model_name, "step": step}
     size = 64
     if dirty is not None:
         message["dirty"] = list(dirty)
         size += 40 * len(dirty)
+    if manifest is not None:
+        message["manifest"] = list(manifest)
+        size += _PER_CHUNK_SIZE * len(manifest)
     return message, size
 
 

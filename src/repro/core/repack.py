@@ -137,6 +137,10 @@ def repack_live(env: Environment, pool: PmemPool,
         newest = meta.read_flags().newest_done()
         if newest is None:
             continue
+        if meta.dedup:
+            # Dedup models own no per-version extents to migrate; their
+            # bytes live in the shared chunk store.
+            continue
         old = meta.data_regions[newest]
         fresh = pool.alloc(old.size, tag=old.tag)
         if fresh.addr > old.addr:

@@ -68,6 +68,10 @@ class Tensor:
         self.allocation = allocation
         self.model_seed = model_seed
         self.step = -1
+        #: Set on every content write, cleared by the checkpoint client
+        #: once the bytes are safely on the daemon — the per-tensor delta
+        #: signal the incremental/dedup datapaths ship.
+        self.dirty = True
 
     @property
     def name(self) -> str:
@@ -88,6 +92,7 @@ class Tensor:
         self.allocation.write(
             0, PatternContent(seed=seed, size=self.size_bytes))
         self.step = step
+        self.dirty = True
 
     def content(self) -> Content:
         return self.allocation.read(0, self.size_bytes)
@@ -144,6 +149,17 @@ class ModelInstance:
             if names is None or tensor.name in names:
                 tensor.set_step(step)
         self.step = step
+
+    def dirty_names(self) -> List[str]:
+        """Tensors whose bytes changed since :meth:`clear_dirty`."""
+        return [tensor.name for tensor in self.tensors if tensor.dirty]
+
+    def clear_dirty(self, names: Optional[Iterable[str]] = None) -> None:
+        """Mark tensors clean (checkpoint acked); all of them by default."""
+        chosen = None if names is None else set(names)
+        for tensor in self.tensors:
+            if chosen is None or tensor.name in chosen:
+                tensor.dirty = False
 
     @property
     def total_bytes(self) -> int:

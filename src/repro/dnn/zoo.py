@@ -215,6 +215,25 @@ ZOO_BUILDERS: Dict[str, Callable[[], ModelSpec]] = {
 }
 
 
+#: Name prefixes of the classification heads across every family the
+#: zoo builds (torchvision's conventions).
+_HEAD_PREFIXES = ("fc.", "classifier.", "heads.", "head.")
+
+
+def head_tensor_names(spec: ModelSpec) -> List[str]:
+    """The classification-head tensors of a zoo model.
+
+    A fine-tune retrains exactly these while the backbone keeps the base
+    weights — which is what makes two fine-tunes of the same base share
+    almost all of their chunks under the deduplicated checkpoint layout.
+    """
+    names = [tensor.name for tensor in spec.tensors
+             if tensor.name.startswith(_HEAD_PREFIXES)]
+    if not names:
+        raise ValueError(f"{spec.name}: no recognizable head tensors")
+    return names
+
+
 def build_zoo_model(name: str) -> ModelSpec:
     """Build any model: Table II representative or zoo variant."""
     if name in MODEL_BUILDERS:

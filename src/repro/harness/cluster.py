@@ -156,15 +156,22 @@ class PaperCluster:
 
     def portus_register(self, model: Union[str, ModelSpec, ModelInstance],
                         node: Optional[ComputeNode] = None,
-                        gpu: int = 0) -> Generator:
-        """Process: materialize (if needed) and register with the daemon."""
+                        gpu: int = 0, dedup: bool = False,
+                        chunk_bytes: Optional[int] = None) -> Generator:
+        """Process: materialize (if needed) and register with the daemon.
+
+        ``dedup=True`` opts the model into the deduplicated layout
+        (content-hash chunk manifests over the pool-wide refcounted
+        chunk store); *chunk_bytes* overrides the default chunk size.
+        """
         node = node or self.volta
         if isinstance(model, ModelInstance):
             instance = model
         else:
             instance = self.materialize(model, node=node, gpu=gpu)
         client = self.portus_client(node)
-        session = yield from client.register(instance)
+        session = yield from client.register(instance, dedup=dedup,
+                                             chunk_bytes=chunk_bytes)
         return session
 
     def enable_operator(self, **kwargs):

@@ -15,8 +15,9 @@ decides what arrives.  Four kinds:
   as poison and never compares equal to anything, including itself.
 
 Equality materializes when any side is small, otherwise compares canonical
-fingerprints; comparing two *different* huge representations is refused
-loudly rather than guessed at.
+fingerprints; two *different* huge representations fall back to a bounded
+windowed comparison (one MATERIALIZE-sized window in flight at a time), so
+dedup verification and restore checks on multi-GB tensors never crash.
 """
 
 from __future__ import annotations
@@ -28,6 +29,10 @@ import numpy as np
 
 # Largest content we are willing to materialize into real bytes.
 MATERIALIZE_LIMIT = 64 * 1024 * 1024
+
+# Window size for comparing two large contents whose fingerprints differ:
+# at most one window is materialized per side at any moment.
+_COMPARE_CHUNK = 16 * 1024 * 1024
 
 _MULT = np.uint64(0x9E3779B97F4A7C15)
 _XOR = np.uint64(0xBF58476D1CE4E5B9)
@@ -66,10 +71,25 @@ class Content:
             return True
         if self.size <= MATERIALIZE_LIMIT:
             return self.to_bytes() == other.to_bytes()
-        raise ValueError(
-            "cannot compare two distinct large contents "
-            f"({self!r} vs {other!r}) without materializing "
-            f"{self.size} bytes")
+        # Two large contents with different canonical forms (e.g. a joined
+        # pattern vs a composite of the same bytes): compare one bounded
+        # window at a time.  Per window the cheap fingerprint check runs
+        # first, so canonical-equal stretches never materialize.
+        cursor = 0
+        while cursor < self.size:
+            step = min(_COMPARE_CHUNK, self.size - cursor)
+            mine = self.slice(cursor, step)
+            theirs = other.slice(cursor, step)
+            if mine.fingerprint() != theirs.fingerprint():
+                try:
+                    if mine.to_bytes() != theirs.to_bytes():
+                        return False
+                except ValueError:
+                    # A torn sub-part inside a composite: unreadable bytes
+                    # are never equal to anything.
+                    return False
+            cursor += step
+        return True
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Content):
@@ -237,6 +257,17 @@ class CompositeContent(Content):
 
     def __repr__(self) -> str:
         return f"<CompositeContent {len(self.parts)} parts {self.size}B>"
+
+
+def concat(parts: List[Content]) -> Content:
+    """Concatenate contents into the simplest canonical equivalent.
+
+    Adjacent same-stream patterns and zero runs join, so the result's
+    :meth:`Content.fingerprint` is a stable identity for the byte string —
+    the property content-hash chunking (dedup) relies on.
+    """
+    total = sum(part.size for part in parts)
+    return _simplify(list(parts), total)
 
 
 def _simplify(parts: List[Content], total: int) -> Content:

@@ -15,7 +15,14 @@ invariant:
 * **stale ACTIVE slots** — a checkpoint that was mid-pull at crash time
   and whose TensorData can no longer be trusted;
 * **leaked extents** — committed Portus-tagged extents no model walk
-  reaches (crash windows in alloc/free orderings leak by design).
+  reaches (crash windows in alloc/free orderings leak by design);
+* **chunk refcounts** (dedup layout) — every ChunkTable reference count
+  is recomputed from reachability (one reference per occurrence in a
+  DONE version's manifest): a stored count *above* the recomputed one is
+  a leak (crash between apply/commit and manifest GC — space only), a
+  count *below* it is an over-free (a future unref would free bytes a
+  restorable checkpoint still needs); manifests referencing chunks the
+  store does not hold demote their slot.
 
 :func:`fsck` is read-only; :func:`repair` applies each finding's safe
 repair action (demote untrustworthy slots, unlink missing extents, drop
@@ -60,6 +67,14 @@ K_VERSION_EXTENT_MISSING = "version-extent-missing"
 K_DONE_EXTENT_SHORT = "done-extent-short"
 K_EXTENT_SHARED = "extent-shared"
 K_LEAKED_EXTENT = "leaked-extent"
+K_CHUNKTABLE_UNREADABLE = "chunktable-unreadable"
+K_CHUNKTABLE_TORN = "chunktable-torn-slot"
+K_MANIFEST_TORN = "manifest-torn-slot"
+K_MANIFEST_BAD = "manifest-bad"
+K_MANIFEST_CHUNK_MISSING = "manifest-chunk-missing"
+K_CHUNK_BACKING_MISSING = "chunk-backing-missing"
+K_CHUNK_REF_LEAK = "chunk-ref-leak"
+K_CHUNK_REF_OVERFREE = "chunk-ref-overfree"
 
 
 class Finding:
@@ -212,6 +227,7 @@ def fsck(pool: PmemPool, obs=None) -> FsckReport:
     from repro.core.index import (DATA_TAG, FLAG_ACTIVE, FLAG_DONE,
                                   META_TAG, TABLE_TAG, ModelMeta,
                                   ModelTable, VersionFlags, layout_tensors)
+    from repro.pmem.chunks import CHUNK_TAG, ChunkStore
 
     if pool.closed:
         raise PmemError("fsck needs an open pool")
@@ -273,6 +289,26 @@ def fsck(pool: PmemPool, obs=None) -> FsckReport:
         referenced.add(addr)
         return True
 
+    # The shared chunk store (dedup layout), if this pool has one.  An
+    # unreadable table only happens when power failed before its very
+    # first commit — no chunk was ever stored, so the extent is pure
+    # leakage and freeing it is safe (the next dedup register recreates
+    # the store).
+    store = None
+    try:
+        store = ChunkStore.attach(pool)
+    except PmemError as exc:
+        report.add(Finding(
+            K_CHUNKTABLE_UNREADABLE, SEV_WARN, str(exc),
+            repair=lambda p=pool: _free_chunk_table(p)))
+    if store is not None:
+        claim(store.table_alloc.addr, "<ChunkTable>")
+        _check_torn_slots(report, store.record, K_CHUNKTABLE_TORN,
+                          "ChunkTable")
+    #: digest -> references recomputed from reachability (one per
+    #: occurrence in a resolvable DONE manifest).
+    recomputed: Dict[bytes, int] = {}
+
     # Levels 2+3: per-model metadata and TensorData extents.
     for name in table.names():
         report.checked["models"] += 1
@@ -309,6 +345,13 @@ def fsck(pool: PmemPool, obs=None) -> FsckReport:
                           "MIndex", model=name)
 
         flags = meta.read_flags()
+        if meta.dedup:
+            # Dedup models own no per-version extents: their version
+            # addresses are 0 by design and their bytes live in the
+            # chunk store, so the addr-based checks below do not apply.
+            # Instead verify the manifests and accumulate reachability.
+            _fsck_dedup_model(report, meta, name, flags, store, recomputed)
+            continue
         needed = layout_tensors(
             [d.to_spec() for d in meta.mindex.descriptors])[1]
         for version in (0, 1):
@@ -358,14 +401,51 @@ def fsck(pool: PmemPool, obs=None) -> FsckReport:
                     repair=lambda m=meta, v=version:
                         _demote_and_unlink(m, v)))
 
+    # Chunk refcounts: compare every stored count against the one
+    # recomputed from reachability.  Stored > recomputed is a leak (a
+    # crash window between apply/commit and manifest GC over-holds —
+    # space only); stored < recomputed is an over-free (a future unref
+    # would free bytes a restorable checkpoint still needs).
+    if store is not None:
+        for entry in store.entries():
+            backing = allocator.lookup(entry.addr)
+            if backing is None or backing.size < entry.size:
+                report.add(Finding(
+                    K_CHUNK_BACKING_MISSING, SEV_ERROR,
+                    f"chunk {entry.digest.hex()[:12]} extent at "
+                    f"{entry.addr:#x}+{entry.size} has no committed "
+                    f"backing",
+                    repair=lambda s=store, d=entry.digest: s.drop_entry(d)))
+                continue
+            claim(entry.addr, f"<chunk:{entry.digest.hex()[:12]}>")
+            want = recomputed.get(entry.digest, 0)
+            if entry.refcount > want:
+                report.add(Finding(
+                    K_CHUNK_REF_LEAK, SEV_WARN,
+                    f"chunk {entry.digest.hex()[:12]} holds "
+                    f"{entry.refcount} refs, reachability needs {want}",
+                    repair=lambda s=store, d=entry.digest, n=want:
+                        s.set_refcount(d, n)))
+            elif entry.refcount < want:
+                report.add(Finding(
+                    K_CHUNK_REF_OVERFREE, SEV_ERROR,
+                    f"chunk {entry.digest.hex()[:12]} holds "
+                    f"{entry.refcount} refs but {want} manifest "
+                    f"references reach it",
+                    repair=lambda s=store, d=entry.digest, n=want:
+                        s.set_refcount(d, n)))
+
     # Leaks: committed Portus-tagged extents no walk reached.  Foreign
-    # tags (anything not ours) are left alone.
+    # tags (anything not ours) are left alone.  The ChunkTable extent is
+    # excluded: readable tables were claimed above, unreadable ones
+    # already carry their own (freeing) finding.
     for record in records:
         if record.addr in referenced:
             continue
         ours = (record.tag == TABLE_TAG
                 or record.tag.startswith(META_TAG + "/")
-                or record.tag.startswith(DATA_TAG + "/"))
+                or record.tag.startswith(DATA_TAG + "/")
+                or record.tag.startswith(CHUNK_TAG + "/"))
         if not ours:
             continue
         report.add(Finding(
@@ -390,6 +470,74 @@ def _demote(meta, version: int) -> None:
     flags.states[version] = 0  # FLAG_EMPTY
     flags.steps[version] = 0
     meta.write_flags(flags)
+
+
+def _fsck_dedup_model(report: FsckReport, meta, name: str, flags,
+                      store, recomputed: Dict[bytes, int]) -> None:
+    """Verify one dedup model's manifests; count reachable references.
+
+    Only manifests of DONE slots that fully resolve against the chunk
+    store contribute to *recomputed* — a slot flagged for demotion here
+    must not hold references, or the refcount pass would repair toward
+    a state the demotion is about to invalidate.
+    """
+    from repro.core.index import FLAG_ACTIVE, FLAG_DONE, region_extent
+
+    region = region_extent(meta.mindex.descriptors)
+    expected = (region + meta.chunk_bytes - 1) // meta.chunk_bytes
+    for version in (0, 1):
+        _check_torn_slots(report, meta.manifest_record(version),
+                          K_MANIFEST_TORN, f"v{version} manifest",
+                          model=name)
+    for version in (0, 1):
+        state = flags.states[version]
+        step = flags.steps[version]
+        if state == FLAG_ACTIVE:
+            report.add(Finding(
+                K_STALE_ACTIVE, SEV_WARN,
+                f"v{version} still ACTIVE (step stamp {step}): a "
+                f"checkpoint was mid-pull at crash time; its manifest "
+                f"cannot be trusted", model=name,
+                repair=lambda m=meta, v=version: _demote_dedup(m, v)))
+        if state != FLAG_DONE:
+            continue
+        digests = meta.read_manifest(version)
+        if len(digests) != expected:
+            report.add(Finding(
+                K_MANIFEST_BAD, SEV_ERROR,
+                f"v{version} DONE@{step} manifest lists {len(digests)} "
+                f"chunks, the layout needs {expected}", model=name,
+                repair=lambda m=meta, v=version: _demote_dedup(m, v)))
+            continue
+        missing = [digest for digest in digests
+                   if store is None or store.lookup(digest) is None]
+        if missing:
+            report.add(Finding(
+                K_MANIFEST_CHUNK_MISSING, SEV_ERROR,
+                f"v{version} DONE@{step} references "
+                f"{len(set(missing))} chunks the store does not hold "
+                f"(e.g. {missing[0].hex()[:12]})", model=name,
+                repair=lambda m=meta, v=version: _demote_dedup(m, v)))
+            continue
+        for digest in digests:
+            recomputed[digest] = recomputed.get(digest, 0) + 1
+
+
+def _demote_dedup(meta, version: int) -> None:
+    """Demote a dedup slot and clear its manifest; references the
+    manifest held surface as chunk-ref leaks the next pass lowers."""
+    _demote(meta, version)
+    meta.write_manifest(version, [])
+
+
+def _free_chunk_table(pool) -> None:
+    """Reclaim an unreadable ChunkTable extent (pre-first-commit crash:
+    no chunk was ever stored behind it)."""
+    from repro.pmem.chunks import CHUNK_TABLE_TAG
+
+    for allocation in pool.find_by_tag(CHUNK_TABLE_TAG):
+        pool.free(allocation)
+    pool.__dict__.pop("_chunk_store", None)
 
 
 def _demote_and_unlink(meta, version: int) -> None:

@@ -6,6 +6,7 @@ from repro.core.async_ckpt import PortusAsyncPolicy, PortusSyncPolicy
 from repro.core.consistency import valid_checkpoint
 from repro.dnn.training import TrainingJob
 from repro.harness.cluster import PaperCluster
+from repro.ops.policy import AdaptiveIntervalController
 from repro.units import msecs, secs
 
 
@@ -107,3 +108,81 @@ def test_policy_rejects_bad_frequency():
         PortusSyncPolicy(cluster.env, [], frequency=0)
     with pytest.raises(ValueError):
         PortusAsyncPolicy(cluster.env, [], frequency=0)
+
+
+def test_async_needs_exactly_one_of_frequency_and_controller():
+    cluster = PaperCluster(seed=7)
+    controller = AdaptiveIntervalController()
+    with pytest.raises(ValueError):
+        PortusAsyncPolicy(cluster.env, [])
+    with pytest.raises(ValueError):
+        PortusAsyncPolicy(cluster.env, [], frequency=2,
+                          controller=controller)
+
+
+def test_adaptive_interval_shortens_mid_run_after_failures():
+    """The live Young/Daly feed: failures the operator reports mid-run
+    shrink the MTBF estimate, and the policy's next per-iteration
+    decision checkpoints more often — no restart, no re-plumbing."""
+    cluster = PaperCluster(seed=8)
+    holder = {}
+
+    def scenario(env):
+        session = yield from cluster.portus_register("bert_large")
+        controller = AdaptiveIntervalController(
+            min_interval_ns=msecs(100), max_interval_ns=secs(120),
+            prior_mtbf_ns=secs(30), prior_cost_ns=msecs(150))
+        controller.observe_start(env.now)
+        policy = PortusAsyncPolicy(env, [session], controller=controller)
+        job = TrainingJob(env, [session.model],
+                          iteration_ns=msecs(100), hook=policy)
+        holder.update(policy=policy, job=job, controller=controller)
+
+        def storm(env):
+            # A burst of daemon deaths two simulated seconds in — what
+            # the remediation operator would report while healing them.
+            yield env.timeout(secs(2))
+            for _ in range(9):
+                controller.observe_failure(env.now)
+
+        env.process(storm(env), name="failure-storm")
+        yield from job.run(60)
+
+    cluster.run(scenario)
+    policy, controller = holder["policy"], holder["controller"]
+    decided = dict(policy.frequencies_used)
+    # Before the storm (iteration 5, t=0.5s) the prior MTBF holds; after
+    # it (iteration 60, t>=6s) nine failures shrink the estimate and the
+    # recommended interval with it.
+    assert decided[60] < decided[5] / 2
+    assert controller.failures == 9
+    # The shorter interval really produced more checkpoints than the
+    # pre-storm frequency would have allowed over 60 iterations.
+    assert policy.checkpoints_taken > 60 // decided[5]
+    assert policy.checkpoints_taken == cluster.daemon.checkpoints_completed
+
+
+def test_adaptive_policy_feeds_barrier_stall_back_as_cost():
+    """A fully hidden checkpoint reports cost 0: the controller's EWMA
+    converges down and the interval drops to its lower clamp."""
+    cluster = PaperCluster(seed=9)
+    holder = {}
+
+    def scenario(env):
+        session = yield from cluster.portus_register("resnet50")
+        controller = AdaptiveIntervalController(
+            min_interval_ns=msecs(200), max_interval_ns=secs(120),
+            prior_mtbf_ns=secs(30), prior_cost_ns=msecs(50))
+        controller.observe_start(env.now)
+        policy = PortusAsyncPolicy(env, [session], controller=controller)
+        job = TrainingJob(env, [session.model],
+                          iteration_ns=msecs(100), hook=policy)
+        holder.update(policy=policy, controller=controller)
+        yield from job.run(40)
+
+    cluster.run(scenario)
+    policy, controller = holder["policy"], holder["controller"]
+    assert controller.costs_observed >= 1
+    assert controller.cost_ns == 0.0  # the pull hid inside F+B
+    # Post-observation decisions sit at the clamp: every 2 iterations.
+    assert policy.frequencies_used[-1][1] == 2

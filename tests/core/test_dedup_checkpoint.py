@@ -1,0 +1,196 @@
+"""End-to-end deduplicated checkpoints: delta pulls, shared extents,
+refcounts across versions/tenants, bit-exact restores."""
+
+import pytest
+
+from repro.core.consistency import valid_checkpoint
+from repro.dnn.tensor import ModelInstance, TensorSpec
+from repro.errors import PortusError
+from repro.harness.cluster import PaperCluster
+from repro.pmem.chunks import ChunkStore
+from repro.units import kib
+
+CHUNK = 256 * 1024
+
+SPECS = [TensorSpec("backbone.weight", (256, 1024)),  # 1 MiB
+         TensorSpec("backbone.bias", (1024,)),
+         TensorSpec("head.weight", (64, 1024)),       # 256 KiB
+         TensorSpec("head.bias", (64,))]
+
+
+@pytest.fixture
+def cluster():
+    return PaperCluster(seed=7)
+
+
+def _register(cluster, name, gpu=0, seed=77):
+    instance = ModelInstance.materialize(
+        name, SPECS, cluster.volta.gpus[gpu], model_seed=seed)
+    return cluster.portus_register(instance, dedup=True, chunk_bytes=CHUNK)
+
+
+def test_first_checkpoint_pulls_whole_region_then_only_deltas(cluster):
+    def scenario(env):
+        session = yield from _register(cluster, "m")
+        session.model.update_step(1)
+        first = yield from session.checkpoint(1)
+        # Fine-tune only the head: the backbone chunks are already
+        # stored, so the second checkpoint moves only the head's chunks.
+        session.model.update_step(2, only=["head.weight", "head.bias"])
+        second = yield from session.checkpoint(2)
+        return session, first, second
+
+    session, first, second = cluster.run(scenario)
+    assert first["bytes_logical"] == session.model.total_bytes
+    assert first["chunks_shared"] == 0
+    assert first["bytes_pulled"] > 0
+    # Second checkpoint: only the chunks the head dirtied move.
+    assert second["bytes_pulled"] < first["bytes_pulled"] / 2
+    assert second["chunks_shared"] > 0
+    assert second["bytes_logical"] == first["bytes_logical"]
+
+
+def test_dedup_restore_roundtrip_bit_exact(cluster):
+    def scenario(env):
+        session = yield from _register(cluster, "m")
+        session.model.update_step(3)
+        yield from session.checkpoint(3)
+        session.model.update_step(4, only=["head.weight"])
+        yield from session.checkpoint(4)
+        session.model.update_step(9)  # diverge, then roll back
+        step = yield from session.restore()
+        return session, step
+
+    session, step = cluster.run(scenario)
+    assert step == 4
+    # Only the head moved at step 4; the backbone's newest bytes are
+    # its step-3 weights — the restore must reproduce exactly that mix.
+    for tensor in session.model.tensors:
+        want = 4 if tensor.name == "head.weight" else 3
+        assert tensor.content().equals(tensor.expected_content(want)), \
+            tensor.name
+
+
+def test_cross_tenant_chunks_stored_once(cluster):
+    """Two tenants fine-tuning the same base weights share backbone
+    extents: the second tenant's first checkpoint pulls only its own
+    distinct head bytes."""
+    def scenario(env):
+        a = yield from _register(cluster, "tenant-a", gpu=0, seed=77)
+        b = yield from _register(cluster, "tenant-b", gpu=1, seed=77)
+        a.model.update_step(1)
+        # Same seed + step => identical bytes; then each tenant diverges
+        # only its head.
+        b.model.update_step(1)
+        a.model.update_step(2, only=["head.weight", "head.bias"])
+        first = yield from a.checkpoint(2)
+        b.model.update_step(3, only=["head.weight", "head.bias"])
+        second = yield from b.checkpoint(3)
+        return first, second
+
+    first, second = cluster.run(scenario)
+    assert first["chunks_shared"] == 0
+    # Tenant B found its backbone already stored by tenant A.
+    assert second["chunks_shared"] > 0
+    assert second["bytes_pulled"] < first["bytes_pulled"] / 2
+    store = ChunkStore.attach(cluster.portus_pool)
+    assert store.logical_bytes > store.stored_bytes
+
+
+def test_drop_version_decrements_instead_of_freeing(cluster):
+    """The third checkpoint overwrites the first's slot: shared chunks
+    survive (refcount drops by one), distinct chunks are freed."""
+    def scenario(env):
+        session = yield from _register(cluster, "m")
+        session.model.update_step(1)
+        yield from session.checkpoint(1)
+        session.model.update_step(2, only=["head.weight"])
+        yield from session.checkpoint(2)
+        session.model.update_step(3, only=["head.weight"])
+        yield from session.checkpoint(3)
+        return session
+
+    cluster.run(scenario)
+    entry = cluster.daemon.model_map["m"]
+    store = ChunkStore.attach(cluster.portus_pool)
+    flags = entry.meta.read_flags()
+    assert sorted(flags.steps) == [2, 3]
+    # Both manifests fully resolvable; backbone chunks counted twice.
+    for version in (0, 1):
+        for digest in entry.meta.read_manifest(version):
+            assert store.lookup(digest) is not None
+    shared = [e for e in store.entries() if e.refcount >= 2]
+    assert shared, "backbone chunks should be shared across versions"
+
+
+def test_unregister_releases_all_references(cluster):
+    def scenario(env):
+        session = yield from _register(cluster, "m")
+        session.model.update_step(1)
+        yield from session.checkpoint(1)
+        session.model.update_step(2)
+        yield from session.checkpoint(2)
+        yield from session.unregister()
+
+    cluster.run(scenario)
+    store = ChunkStore.attach(cluster.portus_pool)
+    assert store.chunk_count == 0
+    assert store.stored_bytes == 0
+
+
+def test_daemon_restart_keeps_dedup_checkpoints(cluster):
+    def phase1(env):
+        session = yield from _register(cluster, "m")
+        session.model.update_step(5)
+        yield from session.checkpoint(5)
+        return session
+
+    old = cluster.run(phase1)
+    model = old.model
+    cluster.restart_daemon()
+
+    def phase2(env):
+        client = cluster.portus_client()
+        session = yield from client.register(model, dedup=True,
+                                             chunk_bytes=CHUNK)
+        model.update_step(6)  # diverged weights to roll back
+        step = yield from session.restore()
+        return session, step
+
+    session, step = cluster.run(phase2)
+    assert step == 5
+    contents = {t.name: t.content() for t in session.model.tensors}
+    assert session.model.verify_against(contents, step=5) == []
+
+
+def test_layout_mismatch_on_attach_rejected(cluster):
+    def phase1(env):
+        session = yield from _register(cluster, "m")
+        yield from session.checkpoint(0)
+        return session.model
+
+    model = cluster.run(phase1)
+    cluster.restart_daemon()
+
+    def phase2(env):
+        client = cluster.portus_client()
+        with pytest.raises(PortusError):
+            yield from client.register(model)  # contiguous attach
+        with pytest.raises(PortusError):
+            yield from client.register(model, dedup=True,
+                                       chunk_bytes=2 * CHUNK)
+        return True
+
+    assert cluster.run(phase2)
+
+
+def test_chunk_bytes_without_dedup_rejected(cluster):
+    def scenario(env):
+        instance = ModelInstance.materialize(
+            "m", SPECS, cluster.volta.gpus[0], model_seed=1)
+        client = cluster.portus_client()
+        with pytest.raises(PortusError):
+            yield from client.register(instance, chunk_bytes=kib(64))
+        return True
+
+    assert cluster.run(scenario)

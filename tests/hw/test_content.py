@@ -38,11 +38,51 @@ def test_pattern_equality_by_fingerprint_without_materializing():
     assert huge_a.equals(huge_b)
 
 
-def test_distinct_huge_patterns_refuse_comparison():
+def test_distinct_huge_patterns_compare_unequal_without_crashing():
+    # Distinct streams differ in the first window, so the bounded
+    # comparison answers False after materializing only one window.
     huge_a = PatternContent(seed=1, size=100 * 1024**3)
     huge_b = PatternContent(seed=2, size=100 * 1024**3)
-    with pytest.raises(ValueError, match="large contents"):
-        huge_a.equals(huge_b)
+    assert not huge_a.equals(huge_b)
+    assert not huge_b.equals(huge_a)
+
+
+def test_large_equal_pair_with_differing_fingerprints():
+    """128 MiB regression: same bytes, different canonical forms.
+
+    A single pattern vs a hand-built composite of the same stream: the
+    top-level fingerprints differ (composite vs pattern), the size is
+    over MATERIALIZE_LIMIT, and before the bounded-window fix this pair
+    raised ValueError out of ``Content.equals``.
+    """
+    size = 128 * 1024 * 1024
+    half = size // 2
+    whole = PatternContent(seed=9, size=size)
+    split = CompositeContent([PatternContent(seed=9, size=half),
+                              PatternContent(seed=9, size=half, base=half)])
+    assert whole.fingerprint() != split.fingerprint()
+    assert whole.equals(split)
+    assert split.equals(whole)
+    # A pair that differs only in the last window must come back False.
+    flipped = pattern_bytes(9, size - 1, 1)[0] ^ 0xFF
+    tail_off = CompositeContent([
+        PatternContent(seed=9, size=size - 1),
+        ByteContent(bytes([flipped])),
+    ])
+    assert not whole.equals(tail_off)
+
+
+def test_large_bytecontent_pair_materializes_windowed():
+    # Byte-backed halves force the per-window materialize path (their
+    # window fingerprints are sha1 digests, never equal to the pattern's).
+    size = 128 * 1024 * 1024
+    half = size // 2
+    whole = PatternContent(seed=4, size=size)
+    raw = CompositeContent([
+        ByteContent(pattern_bytes(4, 0, half)),
+        ByteContent(pattern_bytes(4, half, half)),
+    ])
+    assert whole.equals(raw)
 
 
 def test_materialize_limit_enforced():

@@ -1,0 +1,120 @@
+"""Unit tests for the refcounted content-addressed chunk store."""
+
+import hashlib
+
+import pytest
+
+from repro.errors import PmemError, PoolExhausted
+from repro.hw import PatternContent, PmemDimm
+from repro.pmem import PmemPool
+from repro.pmem.chunks import (CHUNK_TABLE_TAG, ChunkStore, chunk_tag)
+from repro.sim import Environment
+from repro.units import gib, kib
+
+
+def make_pool():
+    env = Environment()
+    device = PmemDimm(env, dimms=1, dimm_capacity=gib(1))
+    return PmemPool.format(device)
+
+
+def digest_of(n):
+    return hashlib.sha1(b"chunk-%d" % n).digest()
+
+
+def put_chunk(store, n, size=kib(64), refs=1):
+    digest = digest_of(n)
+    extent = store.alloc_chunk(digest, size)
+    extent.write(0, PatternContent(seed=n, size=size))
+    extent.persist()
+    store.apply([(digest, extent, refs)], {})
+    return digest
+
+
+def test_create_attach_roundtrip():
+    pool = make_pool()
+    store = ChunkStore.create(pool, chunk_bytes=kib(64))
+    d0 = put_chunk(store, 0)
+    d1 = put_chunk(store, 1, refs=3)
+    assert ChunkStore.attach(pool) is store  # cached on the handle
+
+    pool.close()
+    reopened = PmemPool.open(pool.device)
+    fresh = ChunkStore.attach(reopened)
+    assert fresh is not store
+    assert fresh.chunk_bytes == kib(64)
+    assert fresh.lookup(d0).refcount == 1
+    assert fresh.lookup(d1).refcount == 3
+    got = fresh.allocation_of(fresh.lookup(d1))
+    assert got.read(0, kib(64)).equals(PatternContent(seed=1, size=kib(64)))
+
+
+def test_attach_without_store_returns_none():
+    pool = make_pool()
+    assert ChunkStore.attach(pool) is None
+    store = ChunkStore.ensure(pool)
+    assert ChunkStore.attach(pool) is store
+    with pytest.raises(PmemError, match="chunk size"):
+        ChunkStore.ensure(pool, chunk_bytes=store.chunk_bytes + 1)
+
+
+def test_apply_merges_new_and_shared_in_one_commit():
+    pool = make_pool()
+    store = ChunkStore.create(pool)
+    d0 = put_chunk(store, 0)
+    d1 = digest_of(1)
+    extent = store.alloc_chunk(d1, kib(64))
+    extent.write(0, PatternContent(seed=1, size=kib(64)))
+    extent.persist()
+    store.apply([(d1, extent, 2)], {d0: 1})
+    assert store.lookup(d0).refcount == 2
+    assert store.lookup(d1).refcount == 2
+    assert store.chunk_count == 2
+
+
+def test_unref_frees_at_zero_and_refuses_over_free():
+    pool = make_pool()
+    store = ChunkStore.create(pool)
+    d0 = put_chunk(store, 0, refs=2)
+    assert store.unref([d0]) == []
+    assert store.lookup(d0).refcount == 1
+    freed = store.unref([d0])
+    assert len(freed) == 1
+    assert store.lookup(d0) is None
+    assert pool.allocator.find_by_tag(chunk_tag(d0)) == []
+    with pytest.raises(PmemError, match="unknown chunk"):
+        store.unref([d0])
+
+    d1 = put_chunk(store, 1, refs=1)
+    with pytest.raises(PmemError, match="over-free"):
+        store.unref([d1, d1])
+    # The refused unref must not have committed a partial decrement.
+    assert store.lookup(d1).refcount == 1
+
+
+def test_capacity_enforced():
+    pool = make_pool()
+    store = ChunkStore.create(pool, max_chunks=2)
+    put_chunk(store, 0)
+    put_chunk(store, 1)
+    with pytest.raises(PoolExhausted):
+        store.alloc_chunk(digest_of(2), kib(64))
+
+
+def test_set_refcount_repair_paths():
+    pool = make_pool()
+    store = ChunkStore.create(pool)
+    d0 = put_chunk(store, 0, refs=5)
+    store.set_refcount(d0, 1)
+    assert store.lookup(d0).refcount == 1
+    store.set_refcount(d0, 0)
+    assert store.lookup(d0) is None
+    assert pool.allocator.find_by_tag(chunk_tag(d0)) == []
+
+
+def test_table_extent_is_tagged_and_single():
+    pool = make_pool()
+    ChunkStore.create(pool)
+    assert len(pool.find_by_tag(CHUNK_TABLE_TAG)) == 1
+    with pytest.raises(PmemError, match="already has"):
+        ChunkStore.create(pool)

@@ -13,7 +13,8 @@ CASES = [
     ("distributed_gpt.py", ["bit-exact", "correctly ignored"]),
     ("multi_tenant.py", ["daemon:", "DONE"]),
     ("datapath_probe.py", ["GPU BAR read peak", "5.80GB/s"]),
-    ("share_checkpoint.py", ["all bit-exact", "repacked"]),
+    ("share_checkpoint.py", ["all bit-exact", "repacked", "dedup saved",
+                             "shared chunks", "both tenants bit-exact"]),
     ("frequency_study.py", ["checkpoint cadence", "portus"]),
 ]
 
