@@ -13,6 +13,9 @@ cd "$(dirname "$0")/.."
 EXAMPLES="${1:-${PORTUS_CHAOS_EXAMPLES:-40}}"
 SEED="${2:-${PORTUS_CHAOS_SEED:-0}}"
 OPS_EXAMPLES="${PORTUS_OPS_EXAMPLES:-$EXAMPLES}"
+# The fleet sweep runs 3-shard schedules end to end (~1.5s each), so
+# its default is smaller than the single-daemon sweeps'.
+FLEET_EXAMPLES="${PORTUS_FLEET_EXAMPLES:-8}"
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT
 
@@ -21,10 +24,12 @@ run() {
     PYTHONPATH=src \
     PORTUS_CHAOS_EXAMPLES="$EXAMPLES" \
     PORTUS_OPS_EXAMPLES="$OPS_EXAMPLES" \
+    PORTUS_FLEET_EXAMPLES="$FLEET_EXAMPLES" \
     PORTUS_CHAOS_SEED="$SEED" \
     CHAOS_TRACE="$trace" \
         python -m pytest tests/faults/test_chaos_properties.py \
-            tests/faults/test_operator_chaos.py -q -x \
+            tests/faults/test_operator_chaos.py \
+            tests/faults/test_fleet_chaos.py -q -x \
             -p no:cacheprovider >"$trace.log" 2>&1 || {
         echo "chaos suite failed; last lines of $trace.log:" >&2
         tail -20 "$trace.log" >&2

@@ -3,15 +3,18 @@
 #
 #   1. tier-1: the full unit/integration suite (tests/), including the
 #      chaos sweeps at their default 200 schedules and the crash-point
-#      sweep at every boundary; then the self-healing operator chaos
-#      smoke and `portusctl fsck` / `health` smokes — the demo pool
+#      sweep at every boundary; then the self-healing operator and
+#      fleet chaos smokes and `portusctl fsck` / `health` smokes —
+#      single-daemon and `--daemons 3` fleet rollup — the demo pools
 #      must verify structurally clean and classify healthy;
 #   2. bench smoke: every benchmark datapath, tiniest config, one
 #      iteration (scripts/bench_smoke.sh); then the sim hot-path bench,
 #      which guards against a >20% speedup regression vs the committed
-#      BENCH_sim.json, and the dedup bench, which guards the Fig. 14
-#      trace's bytes-moved reduction vs the committed BENCH_dedup.json
-#      (CI_FAST runs both at reduced scale, no guard);
+#      BENCH_sim.json, the dedup bench, which guards the Fig. 14
+#      trace's bytes-moved reduction vs the committed BENCH_dedup.json,
+#      and the fleet bench, which guards the 96-tenant open loop's p99
+#      improvement vs the committed BENCH_fleet.json
+#      (CI_FAST runs all three at reduced scale, no guard);
 #   3. trace smoke: a traced benchmark run must emit loadable Chrome
 #      trace_event JSON + a metrics snapshot at zero simulated-time
 #      cost (the observability layer's contract);
@@ -28,6 +31,7 @@ if [[ "${CI_FAST:-0}" != "0" ]]; then
     export PORTUS_OPS_EXAMPLES="${PORTUS_OPS_EXAMPLES:-10}"
     export PORTUS_TORN_EXAMPLES="${PORTUS_TORN_EXAMPLES:-20}"
     export PORTUS_CRASHPOINT_STRIDE="${PORTUS_CRASHPOINT_STRIDE:-5}"
+    export PORTUS_FLEET_EXAMPLES="${PORTUS_FLEET_EXAMPLES:-8}"
 fi
 
 step() { printf '\n=== %s ===\n' "$*"; }
@@ -38,6 +42,10 @@ PYTHONPATH=src python -m pytest -x -q
 step "operator chaos smoke (self-healing, zero manual recovery)"
 PYTHONPATH=src PORTUS_OPS_EXAMPLES="${PORTUS_OPS_EXAMPLES:-20}" \
     python -m pytest tests/faults/test_operator_chaos.py -x -q
+
+step "fleet chaos smoke (N shards, shard-targeted remediation)"
+PYTHONPATH=src PORTUS_FLEET_EXAMPLES="${PORTUS_FLEET_EXAMPLES:-12}" \
+    python -m pytest tests/faults/test_fleet_chaos.py -x -q
 
 step "portusctl fsck smoke (demo pool must verify clean)"
 PYTHONPATH=src python -m repro.core.portusctl fsck
@@ -51,6 +59,18 @@ assert report["clean"] is True, report
 print("OK: fsck --json clean, checked %s" % report["checked"])
 '
 
+step "portusctl fleet smoke (per-shard + rollup, 3 daemons)"
+PYTHONPATH=src python -m repro.core.portusctl fsck --daemons 3 --json | \
+    python -c '
+import json, sys
+report = json.load(sys.stdin)
+assert report["clean"] is True, report
+assert sorted(report["shards"]) == ["server", "server1", "server2"], report
+print("OK: fleet fsck clean on %d shards" % len(report["shards"]))
+'
+PYTHONPATH=src python -m repro.core.portusctl health --daemons 3 >/dev/null
+echo "OK: fleet health rollup healthy"
+
 step "benchmark smoke"
 scripts/bench_smoke.sh
 
@@ -61,6 +81,10 @@ PYTHONPATH=src python -m pytest \
 step "dedup bench (bytes-moved regression guard vs BENCH_dedup.json)"
 PYTHONPATH=src python -m pytest \
     "benchmarks/bench_dedup.py::test_dedup_fig14_trace" -q
+
+step "fleet bench (p99-improvement regression guard vs BENCH_fleet.json)"
+PYTHONPATH=src python -m pytest \
+    "benchmarks/bench_fleet.py::test_fleet_open_loop" -q
 
 step "traced-run smoke (Chrome trace + metrics, zero-cost)"
 TRACE_DIR="$(mktemp -d)"

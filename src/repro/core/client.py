@@ -52,11 +52,15 @@ class ModelSession:
                  tensor_infos: Optional[List[Dict[str, Any]]] = None,
                  retry: Optional[RetryPolicy] = None,
                  num_qps: int = 1,
-                 dedup_chunk_bytes: Optional[int] = None) -> None:
+                 dedup_chunk_bytes: Optional[int] = None,
+                 tenant: Optional[str] = None) -> None:
         if num_qps < 1:
             raise PortusError(f"num_qps must be >= 1, got {num_qps}")
         self.client = client
         self.model = model
+        #: Owning tenant (fleet accounting), re-sent on every attach so
+        #: a restarted daemon re-learns the model's owner.
+        self.tenant = tenant
         self.conn = conn
         #: The stripe set: ``num_qps`` QPs are (re)connected per attach
         #: and the daemon stripes each checkpoint/restore across them.
@@ -217,7 +221,11 @@ class ModelSession:
                         self._teardown_transport()
                     if policy.exhausted(attempt, env.now - start):
                         raise
-                    yield env.timeout(policy.backoff_ns(attempt))
+                    # Admission rejects carry the daemon's deterministic
+                    # retry-after hint; honor it over our own backoff.
+                    retry_after = getattr(exc, "retry_after_ns", None)
+                    yield env.timeout(retry_after if retry_after
+                                      else policy.backoff_ns(attempt))
         finally:
             span.finish(error=failed, attempts=attempt + 1)
             if not failed:
@@ -281,7 +289,8 @@ class ModelSession:
                 dedup = {"chunk_bytes": self.dedup_chunk_bytes}
             message, size = protocol.register(self.model.name,
                                               self.tensor_infos, server_qps,
-                                              dedup=dedup)
+                                              dedup=dedup,
+                                              tenant=self.tenant)
             reply = yield from self._rpc(message, size)
             self._check(reply, protocol.OP_REGISTERED)
         self.reattaches += 1
@@ -432,7 +441,8 @@ class PortusClient:
         self.sessions: List[ModelSession] = []
 
     def register(self, model: ModelInstance, dedup: bool = False,
-                 chunk_bytes: Optional[int] = None) -> Generator:
+                 chunk_bytes: Optional[int] = None,
+                 tenant: Optional[str] = None) -> Generator:
         """Process: register *model* (or attach to its persisted index).
 
         Registers one MR per tensor (PeerMem must be enabled for the GPU
@@ -470,7 +480,8 @@ class PortusClient:
         session = ModelSession(self, model, None, None, mrs,
                                tensor_infos=tensor_infos, retry=self.retry,
                                num_qps=self.num_qps,
-                               dedup_chunk_bytes=dedup_chunk_bytes)
+                               dedup_chunk_bytes=dedup_chunk_bytes,
+                               tenant=tenant)
         policy = self.retry
         start = self.env.now
         attempt = 0
@@ -478,14 +489,16 @@ class PortusClient:
             try:
                 yield from session._reattach()
                 break
-            except RETRYABLE_FAULTS:
+            except RETRYABLE_FAULTS as exc:
                 attempt += 1
                 session.retries += 1
                 session._teardown_transport()
                 if policy is None or policy.exhausted(
                         attempt, self.env.now - start):
                     raise
-                yield self.env.timeout(policy.backoff_ns(attempt))
+                retry_after = getattr(exc, "retry_after_ns", None)
+                yield self.env.timeout(retry_after if retry_after
+                                       else policy.backoff_ns(attempt))
         session.reattaches = 0  # the first attach is not a re-attach
         self.sessions.append(session)
         return session

@@ -97,6 +97,9 @@ class ModelEntry:
         self.qps: List = []
         self.client_tensors: Optional[List[Dict]] = None
         self.version_mrs: List = [None, None]
+        #: Owning tenant (fleet accounting); None for legacy sessions.
+        #: Re-learned at attach time after a daemon restart.
+        self.tenant: Optional[str] = None
         self.busy = False  # the compare-and-swap guard
         #: Dedup models: the region's chunk spans (derived once from the
         #: persisted MIndex — the same cut the client hashes over).
@@ -130,7 +133,8 @@ class PortusDaemon:
                  reaper_interval_ns: Optional[int] = None,
                  engine: Optional[Dict] = None,
                  obs: Optional[Observability] = None,
-                 slow_request_ns: Optional[int] = None) -> None:
+                 slow_request_ns: Optional[int] = None,
+                 admission=None, tenants=None) -> None:
         if node.nic is None:
             raise PortusError(f"{node.name} has no RNIC")
         self.env = env
@@ -157,6 +161,17 @@ class PortusDaemon:
             raise PortusError(
                 f"unknown engine options: {sorted(engine_opts)}")
         self.obs = obs if obs is not None else Observability()
+        #: Per-daemon admission controller (fleet backpressure) — a
+        #: :class:`repro.fleet.admission.AdmissionController`, or None
+        #: for the unbounded legacy daemon.
+        self.admission = admission
+        #: Fleet-wide :class:`repro.fleet.tenants.TenantRegistry`
+        #: (shared across shards and daemon restarts), or None.
+        self.tenants = tenants
+        #: Counter scope for this shard's health-relevant counters —
+        #: N daemons share one metrics registry, so the health model
+        #: reads ``daemon.<node>.*`` to see only its shard's faults.
+        self._scope = f"daemon.{node.name}."
         #: Requests slower than this (simulated ns) are logged and kept
         #: in :attr:`slow_requests`; None disables the check.
         self.slow_request_ns = slow_request_ns
@@ -277,6 +292,17 @@ class PortusDaemon:
             if conn in self._conns:
                 self._conns.remove(conn)
 
+    def _count(self, suffix: str, n: int = 1) -> None:
+        """Bump a health-relevant counter both fleet-wide and per-shard.
+
+        The global ``daemon.<suffix>`` name keeps every existing stats
+        consumer working; the scoped ``daemon.<node>.<suffix>`` twin is
+        what :meth:`health_snapshot` reads, so one shard's fault burst
+        never degrades another shard's health classification.
+        """
+        self.obs.metrics.counter(f"daemon.{suffix}").inc(n)
+        self.obs.metrics.counter(f"{self._scope}{suffix}").inc(n)
+
     def _dispatch(self, conn, message: Dict) -> Generator:
         op = message.get("op")
         rid = message.get("rid")
@@ -293,7 +319,7 @@ class PortusDaemon:
         span = self.obs.tracer.span(self.env, f"daemon.{op}", cat="rpc",
                                     trace_id=trace_id, track="daemon",
                                     model=message.get("model"))
-        self.obs.metrics.counter(f"daemon.requests.{op}").inc()
+        self._count(f"requests.{op}")
         started = self.env.now
         failed = False
         try:
@@ -312,7 +338,7 @@ class PortusDaemon:
             self._touch_lease(message)
         except ReproError as exc:
             failed = True
-            self.obs.metrics.counter(f"daemon.errors.{op}").inc()
+            self._count(f"errors.{op}")
             reply, size = protocol.error_reply(exc)
         span.finish(error=failed)
         self._note_slow(op, message, started, failed)
@@ -325,7 +351,7 @@ class PortusDaemon:
             # The client died or the connection dropped mid-reply; the
             # work is done (or aborted) either way — drop the reply.
             self.dropped_replies += 1
-            self.obs.metrics.counter("daemon.dropped_replies").inc()
+            self._count("dropped_replies")
 
     def _note_slow(self, op: str, message: Dict, started: int,
                    failed: bool) -> None:
@@ -339,7 +365,7 @@ class PortusDaemon:
                   "started_ns": started, "duration_ns": duration,
                   "error": failed}
         self.slow_requests.append(record)
-        self.obs.metrics.counter("daemon.slow_requests").inc()
+        self._count("slow_requests")
         self._log.warning(
             "slow request: %s model=%s took %d ns (threshold %d ns)%s",
             op, message.get("model"), duration, self.slow_request_ns,
@@ -420,7 +446,7 @@ class PortusDaemon:
                 # no request timeout reaps in-flight work (last resort).
                 continue
             self.reaped_sessions += 1
-            self.obs.metrics.counter("daemon.reaped_sessions").inc()
+            self._count("reaped_sessions")
             qps = entry.qps
             entry.qps = []
             entry.client_tensors = None
@@ -457,9 +483,19 @@ class PortusDaemon:
     # -- REGISTER ------------------------------------------------------------------------
 
     def _handle_register(self, message: Dict) -> Generator:
+        if self.admission is None:
+            return (yield from self._register_inner(message))
+        self.admission.enter("register")
+        try:
+            return (yield from self._register_inner(message))
+        finally:
+            self.admission.exit("register")
+
+    def _register_inner(self, message: Dict) -> Generator:
         name = message["model"]
         tensors = message["tensors"]
         dedup = message.get("dedup")
+        tenant = message.get("tenant")
         # Multi-QP REGISTER: the client may bring a whole stripe set; a
         # legacy single-QP packet is a stripe set of one.
         qps = message.get("qps") or [message["qp"]]
@@ -469,17 +505,30 @@ class PortusDaemon:
         ]
         entry = self.model_map.get(name)
         if entry is None:
-            if dedup is not None:
-                from repro.pmem.chunks import ChunkStore
+            if tenant is not None and self.tenants is not None:
+                # Charge the persistent footprint (two version slots)
+                # against the tenant's byte quota BEFORE any pool
+                # allocation — a quota reject must leave no state.
+                self.tenants.charge_bytes(
+                    tenant, name,
+                    2 * sum(spec.size_bytes for spec in specs))
+            try:
+                if dedup is not None:
+                    from repro.pmem.chunks import ChunkStore
 
-                chunk_bytes = int(dedup["chunk_bytes"])
-                # The chunk store is pool-wide; first dedup model formats
-                # it and later ones must agree on the chunk size.
-                ChunkStore.ensure(self.pool, chunk_bytes=chunk_bytes)
-                meta = ModelMeta.create_dedup(self.pool, name, specs,
-                                              chunk_bytes)
-            else:
-                meta = ModelMeta.create(self.pool, name, specs)
+                    chunk_bytes = int(dedup["chunk_bytes"])
+                    # The chunk store is pool-wide; first dedup model
+                    # formats it and later ones must agree on the chunk
+                    # size.
+                    ChunkStore.ensure(self.pool, chunk_bytes=chunk_bytes)
+                    meta = ModelMeta.create_dedup(self.pool, name, specs,
+                                                  chunk_bytes)
+                else:
+                    meta = ModelMeta.create(self.pool, name, specs)
+            except ReproError:
+                if tenant is not None and self.tenants is not None:
+                    self.tenants.release_bytes(tenant, name)
+                raise
             entry = ModelEntry(meta)
             self.model_map.insert(name, entry)
             self.table.insert(name, meta.meta.addr)
@@ -499,6 +548,8 @@ class PortusDaemon:
                             entry.meta.data_region(version))
         entry.qps = list(qps)
         entry.client_tensors = tensors
+        if tenant is not None:
+            entry.tenant = tenant
         entry.last_seen_ns = self.env.now
         return protocol.reply(protocol.OP_REGISTERED, model=name,
                               layers=len(tensors), num_qps=len(entry.qps))
@@ -567,10 +618,26 @@ class PortusDaemon:
     # -- DO_CHECKPOINT --------------------------------------------------------------------
 
     def _handle_checkpoint(self, message: Dict) -> Generator:
+        entry = self._entry(message["model"])
+        if self.tenants is not None and entry.tenant is not None:
+            # Token-bucket bandwidth budget: debit the logical size (the
+            # bytes this dump *represents*); over-budget tenants get a
+            # typed reject with an exact deterministic retry-after.
+            self.tenants.reserve_bandwidth(
+                entry.tenant, entry.meta.mindex.total_bytes, self.env.now)
+        if self.admission is None:
+            return (yield from self._checkpoint_gated(message, entry))
+        self.admission.enter("ingest")
+        try:
+            return (yield from self._checkpoint_gated(message, entry))
+        finally:
+            self.admission.exit("ingest")
+
+    def _checkpoint_gated(self, message: Dict,
+                          entry: ModelEntry) -> Generator:
         name = message["model"]
         step = message["step"]
         dirty = message.get("dirty")
-        entry = self._entry(name)
         if entry.meta.dedup:
             return (yield from self._handle_checkpoint_dedup(message, entry))
         if not entry.attached:
@@ -614,7 +681,7 @@ class PortusDaemon:
                 # a slot the next checkpoint may claim); abort() again
                 # is a no-op, kept for the non-engine error paths.
                 engine.abort()
-                self.obs.metrics.counter("daemon.checkpoints_aborted").inc()
+                self._count("checkpoints_aborted")
                 if not self.pool.closed:
                     # Any byte already landed in the target slot — the
                     # incremental prefill or a completed pull WR — makes
@@ -646,7 +713,7 @@ class PortusDaemon:
         self.ledger.add("rdma_pull", duration)
         self.checkpoints_completed += 1
         self.bytes_pulled += pulled
-        self.obs.metrics.counter("daemon.checkpoints_completed").inc()
+        self._count("checkpoints_completed")
         self.obs.metrics.counter("daemon.bytes_pulled").inc(pulled)
         self.obs.metrics.histogram(
             "daemon.checkpoint_latency_ns").record(duration)
@@ -771,7 +838,7 @@ class PortusDaemon:
                 if was_done and old_manifest:
                     store.unref(old_manifest)
             except ReproError:
-                self.obs.metrics.counter("daemon.checkpoints_aborted").inc()
+                self._count("checkpoints_aborted")
                 if not self.pool.closed and target is not None \
                         and not applied:
                     # The target slot's manifest is untouched and the new
@@ -799,7 +866,7 @@ class PortusDaemon:
         self.checkpoints_completed += 1
         self.bytes_pulled += pulled
         self.bytes_logical += logical
-        self.obs.metrics.counter("daemon.checkpoints_completed").inc()
+        self._count("checkpoints_completed")
         self.obs.metrics.counter("daemon.bytes_pulled").inc(pulled)
         self.obs.metrics.counter("daemon.bytes_logical").inc(logical)
         self.obs.metrics.counter("daemon.chunks_new").inc(chunks_new)
@@ -862,7 +929,7 @@ class PortusDaemon:
                 # set so they cannot write stale bytes into the client
                 # after it re-attaches and retries.
                 engine.abort()
-                self.obs.metrics.counter("daemon.restores_aborted").inc()
+                self._count("restores_aborted")
                 raise
             if self.pool.closed:
                 raise PortusError(f"{name}: server crashed during restore")
@@ -872,7 +939,7 @@ class PortusDaemon:
         self.ledger.add("rdma_push", duration)
         self.restores_completed += 1
         self.bytes_pushed += pushed
-        self.obs.metrics.counter("daemon.restores_completed").inc()
+        self._count("restores_completed")
         self.obs.metrics.counter("daemon.bytes_pushed").inc(pushed)
         self.obs.metrics.histogram(
             "daemon.restore_latency_ns").record(duration)
@@ -946,7 +1013,7 @@ class PortusDaemon:
                 # A restore mutates nothing on PMem; flush the stripe set
                 # so late WRs cannot land stale bytes post-reattach.
                 engine.abort()
-                self.obs.metrics.counter("daemon.restores_aborted").inc()
+                self._count("restores_aborted")
                 raise
             if self.pool.closed:
                 raise PortusError(f"{name}: server crashed during restore")
@@ -959,7 +1026,7 @@ class PortusDaemon:
         self.ledger.add("rdma_push", duration)
         self.restores_completed += 1
         self.bytes_pushed += pushed
-        self.obs.metrics.counter("daemon.restores_completed").inc()
+        self._count("restores_completed")
         self.obs.metrics.counter("daemon.bytes_pushed").inc(pushed)
         self.obs.metrics.histogram(
             "daemon.restore_latency_ns").record(duration)
@@ -985,6 +1052,8 @@ class PortusDaemon:
             self.table.remove(name)
             entry.meta.free()
             self.model_map.delete(name)
+            if self.tenants is not None and entry.tenant is not None:
+                self.tenants.release_bytes(entry.tenant, name)
         finally:
             self._release(entry)
         return protocol.reply(protocol.OP_UNREGISTERED, model=name)
@@ -1028,10 +1097,12 @@ class PortusDaemon:
             used = self.pool.used_bytes
             capacity = used + self.pool.free_bytes
         metrics = self.obs.metrics
-        return {
+        scope = self._scope
+        sample = {
             "time_ns": self.env.now,
             "up": self._started and not self.stopped,
             "port": self.port,
+            "shard": self.node.name,
             "models": len(self.model_map.keys()),
             "attached": attached,
             "inflight": len(inflight_ages),
@@ -1042,24 +1113,31 @@ class PortusDaemon:
                 "capacity_bytes": capacity,
                 "utilization": used / capacity if capacity else 0.0,
             },
-            # Monotonic deployment-wide counters (the shared obs registry
+            # Monotonic *per-shard* counters (the shared obs registry
             # survives daemon restarts, so deltas stay meaningful across
-            # a crash/restart boundary).
+            # a crash/restart boundary; the ``daemon.<node>.`` scope
+            # keeps sibling shards' faults out of this shard's deltas).
             "counters": {
-                "requests": metrics.sum_counters("daemon.requests."),
-                "errors": metrics.sum_counters("daemon.errors."),
-                "slow_requests": metrics.value("daemon.slow_requests"),
+                "requests": metrics.sum_counters(f"{scope}requests."),
+                "errors": metrics.sum_counters(f"{scope}errors."),
+                "slow_requests": metrics.value(f"{scope}slow_requests"),
                 "checkpoints_completed": metrics.value(
-                    "daemon.checkpoints_completed"),
+                    f"{scope}checkpoints_completed"),
                 "checkpoints_aborted": metrics.value(
-                    "daemon.checkpoints_aborted"),
+                    f"{scope}checkpoints_aborted"),
                 "restores_completed": metrics.value(
-                    "daemon.restores_completed"),
-                "restores_aborted": metrics.value("daemon.restores_aborted"),
-                "dropped_replies": metrics.value("daemon.dropped_replies"),
-                "reaped_sessions": metrics.value("daemon.reaped_sessions"),
+                    f"{scope}restores_completed"),
+                "restores_aborted": metrics.value(
+                    f"{scope}restores_aborted"),
+                "dropped_replies": metrics.value(
+                    f"{scope}dropped_replies"),
+                "reaped_sessions": metrics.value(
+                    f"{scope}reaped_sessions"),
             },
         }
+        if self.admission is not None:
+            sample["admission"] = self.admission.snapshot()
+        return sample
 
     # -- LIST ------------------------------------------------------------------------------
 

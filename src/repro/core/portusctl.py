@@ -100,37 +100,74 @@ def format_view(rows: List[Dict]) -> str:
 # --- console entry point --------------------------------------------------------
 
 
-def _demo_pool(tracing: bool = False):
-    """A self-contained pool with two checkpointed models on it."""
+#: Demo fleet: one model pinned per shard so every daemon serves bytes.
+_DEMO_MODELS = ("resnet50", "alexnet", "swin_t", "resnet18",
+                "convnext_tiny", "resnet34")
+
+
+def _demo_pool(tracing: bool = False, daemons: int = 1):
+    """A self-contained deployment with checkpointed models on it.
+
+    ``daemons=1`` (the default) is the classic two-model single-pool
+    demo; larger fleets get one pinned model per shard through the
+    placement ring.
+    """
     from repro.harness.cluster import PaperCluster
 
-    cluster = PaperCluster(tracing=tracing)
+    cluster = PaperCluster(tracing=tracing, storage_nodes=daemons)
     pool = cluster.portus_pool
 
+    if daemons == 1:
+        def scenario(env):
+            session_a = yield from cluster.portus_register("resnet50",
+                                                           gpu=0)
+            session_b = yield from cluster.portus_register("alexnet",
+                                                           gpu=1)
+            session_a.model.update_step(100)
+            session_b.model.update_step(40)
+            yield from session_a.checkpoint(100)
+            yield from session_b.checkpoint(40)
+
+        cluster.run(scenario)
+        return cluster, pool
+
+    from repro.fleet import FleetClient
+
+    fleet = FleetClient(cluster)
+
     def scenario(env):
-        session_a = yield from cluster.portus_register("resnet50", gpu=0)
-        session_b = yield from cluster.portus_register("alexnet", gpu=1)
-        session_a.model.update_step(100)
-        session_b.model.update_step(40)
-        yield from session_a.checkpoint(100)
-        yield from session_b.checkpoint(40)
+        for index, shard in enumerate(cluster.shards):
+            model = _DEMO_MODELS[index % len(_DEMO_MODELS)]
+            tenant = f"demo{index}"
+            name = f"{tenant}.{model}"
+            fleet.ring.assign(tenant, name, shard.name)
+            instance = cluster.materialize(model, gpu=index % 4,
+                                           seed=index + 1,
+                                           instance_name=name)
+            session = yield from fleet.register(tenant, instance)
+            session.model.update_step(10 * (index + 1))
+            yield from session.checkpoint(10 * (index + 1))
 
     cluster.run(scenario)
     return cluster, pool
 
 
-def poll_health(cluster) -> Dict:
-    """Heartbeat the daemon through a live session and return the health
-    block its ack carries (the same sample the remediation operator
-    classifies)."""
+def poll_health(cluster, shard: int = 0) -> Dict:
+    """Heartbeat one shard's daemon through a live session and return
+    the health block its ack carries (the same sample the remediation
+    operator classifies).  A shard with no attached session is sampled
+    directly (same block, no wire trip)."""
     result: Dict = {}
 
     def scenario(env):
-        client = cluster.portus_client()
-        if not client.sessions:
-            return
-        reply = yield from client.sessions[0].heartbeat()
-        result.update(reply.get("health") or {})
+        for client in cluster._portus_clients.values():
+            if getattr(client, "shard_index", 0) != shard:
+                continue
+            if client.sessions:
+                reply = yield from client.sessions[0].heartbeat()
+                result.update(reply.get("health") or {})
+                return
+        result.update(cluster.shards[shard].daemon.health_snapshot())
 
     cluster.run(scenario)
     return result
@@ -154,6 +191,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                      "0 clean, 1 dirty")
     fsck_parser.add_argument("--json", action="store_true",
                              help="machine-readable report")
+    fsck_parser.add_argument(
+        "--daemons", type=int, default=1, metavar="N",
+        help="size of the demo fleet: verify every shard's pool and "
+             "print a per-shard + rollup report (default 1)")
     repair_parser = sub.add_parser(
         "repair", help="run fsck and apply every safe repair until the "
                        "device verifies clean; exits 0 nothing-to-do, "
@@ -161,20 +202,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     repair_parser.add_argument("--json", action="store_true",
                                help="machine-readable report")
     health_parser = sub.add_parser(
-        "health", help="heartbeat the daemon and print the aggregated "
-                       "health classification; exits 0 healthy")
+        "health", help="heartbeat the daemon(s) and print the "
+                       "aggregated health classification; exits 0 "
+                       "healthy")
     health_parser.add_argument("--json", action="store_true",
                                help="machine-readable snapshot")
+    health_parser.add_argument(
+        "--daemons", type=int, default=1, metavar="N",
+        help="size of the demo fleet: heartbeat every shard and print "
+             "per-shard states + the worst-state rollup (default 1)")
     stats_parser = sub.add_parser(
         "stats", help="print the demo deployment's metrics snapshot")
     stats_parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="also write a Chrome trace_event JSON of the demo run")
+    stats_parser.add_argument(
+        "--daemons", type=int, default=1, metavar="N",
+        help="size of the demo fleet: include a per-shard work "
+             "summary alongside the fleet-wide metrics (default 1)")
     args = parser.parse_args(argv)
 
+    daemons = max(1, getattr(args, "daemons", 1))
     try:
-        cluster, pool = _demo_pool(
-            tracing=getattr(args, "trace_out", None) is not None)
+        kwargs = {"tracing": getattr(args, "trace_out", None) is not None}
+        if daemons > 1:
+            kwargs["daemons"] = daemons
+        cluster, pool = _demo_pool(**kwargs)
         if args.command == "view":
             print(format_view(view(pool)))
         elif args.command == "dump":
@@ -190,28 +243,83 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"(compacted {len(report.models_compacted)}, "
                   f"dropped {len(report.models_dropped)})")
         elif args.command == "fsck":
-            report = fsck(pool, obs=cluster.obs)
-            print(json.dumps(report.to_dict(), indent=2) if args.json
-                  else report.describe())
-            return EXIT_CLEAN if report.clean else EXIT_DIRTY
+            if daemons == 1:
+                report = fsck(pool, obs=cluster.obs)
+                print(json.dumps(report.to_dict(), indent=2)
+                      if args.json else report.describe())
+                return EXIT_CLEAN if report.clean else EXIT_DIRTY
+            reports = {shard.name: fsck(shard.pool, obs=cluster.obs)
+                       for shard in cluster.shards}
+            all_clean = all(r.clean for r in reports.values())
+            if args.json:
+                dicts = {name: r.to_dict() for name, r in reports.items()}
+                checked: Dict[str, int] = {}
+                for entry in dicts.values():
+                    for key, count in entry["checked"].items():
+                        checked[key] = checked.get(key, 0) + count
+                print(json.dumps({
+                    "clean": all_clean,
+                    "checked": checked,
+                    "shards": dicts,
+                }, indent=2))
+            else:
+                for name, report in reports.items():
+                    print(f"== {name} ==")
+                    print(report.describe())
+                clean = sum(r.clean for r in reports.values())
+                print(f"fleet: {'clean' if all_clean else 'DIRTY'} "
+                      f"({clean}/{len(reports)} shards clean)")
+            return EXIT_CLEAN if all_clean else EXIT_DIRTY
         elif args.command == "repair":
             result = repair(pool, obs=cluster.obs)
             print(json.dumps(result.to_dict(), indent=2) if args.json
                   else result.describe())
             return result.exit_code
         elif args.command == "health":
-            from repro.ops.health import classify, format_health
+            from repro.ops.health import classify, format_health, worst
 
-            sample = poll_health(cluster)
-            state, reasons = classify(sample or None)
+            if daemons == 1:
+                sample = poll_health(cluster)
+                state, reasons = classify(sample or None)
+                if args.json:
+                    print(json.dumps({"state": state, "reasons": reasons,
+                                      "sample": sample}, indent=2))
+                else:
+                    print(format_health(state, reasons, sample))
+                return 0 if state == "healthy" else 1
+            shards = {}
+            for index, shard in enumerate(cluster.shards):
+                sample = poll_health(cluster, shard=index)
+                state, reasons = classify(sample or None)
+                shards[shard.name] = {"state": state, "reasons": reasons,
+                                      "sample": sample}
+            rollup = worst(entry["state"] for entry in shards.values())
             if args.json:
-                print(json.dumps({"state": state, "reasons": reasons,
-                                  "sample": sample}, indent=2))
+                print(json.dumps({"state": rollup, "shards": shards},
+                                 indent=2))
             else:
-                print(format_health(state, reasons, sample))
-            return 0 if state == "healthy" else 1
+                for name, entry in shards.items():
+                    print(f"== {name} ==")
+                    print(format_health(entry["state"], entry["reasons"],
+                                        entry["sample"]))
+                print(f"fleet: {rollup}")
+            return 0 if rollup == "healthy" else 1
         elif args.command == "stats":
-            print(cluster.obs.metrics.to_json())
+            if daemons == 1:
+                print(cluster.obs.metrics.to_json())
+            else:
+                per_shard = {
+                    shard.name: {
+                        "checkpoints_completed":
+                            shard.daemon.checkpoints_completed,
+                        "bytes_pulled": shard.daemon.bytes_pulled,
+                    }
+                    for shard in cluster.shards
+                }
+                print(json.dumps({
+                    "fleet": {"daemons": daemons, "per_shard": per_shard},
+                    "metrics": json.loads(cluster.obs.metrics.to_json()),
+                }, indent=2))
             if args.trace_out is not None:
                 cluster.obs.tracer.write(args.trace_out)
                 print(f"trace written to {args.trace_out}", file=sys.stderr)

@@ -53,8 +53,8 @@ _PER_CHUNK_SIZE = 24
 
 
 def register(model_name: str, tensors: List[Dict[str, Any]],
-             server_qp, dedup: Dict[str, Any] = None
-             ) -> Tuple[Dict[str, Any], int]:
+             server_qp, dedup: Dict[str, Any] = None,
+             tenant: str = None) -> Tuple[Dict[str, Any], int]:
     """The model description packet: one entry per tensor, plus the QP(s)
     the daemon will pull through (standing in for the out-of-band QP
     number exchange of the real system).  *server_qp* may be a single QP
@@ -62,7 +62,9 @@ def register(model_name: str, tensors: List[Dict[str, Any]],
     daemon stripes each transfer across all of them.  *dedup* (e.g.
     ``{"chunk_bytes": N}``) opts the model into the deduplicated layout:
     checkpoints then carry chunk manifests and the daemon stores the
-    bytes in the pool-wide refcounted chunk store.
+    bytes in the pool-wide refcounted chunk store.  *tenant* names the
+    owning tenant for fleet quota/bandwidth accounting (None = legacy
+    unaccounted session).
     """
     qps = list(server_qp) if isinstance(server_qp, (list, tuple)) \
         else [server_qp]
@@ -73,6 +75,9 @@ def register(model_name: str, tensors: List[Dict[str, Any]],
     if dedup is not None:
         message["dedup"] = dict(dedup)
         size += 16
+    if tenant is not None:
+        message["tenant"] = tenant
+        size += 24
     return message, size
 
 

@@ -22,10 +22,14 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional
 
+from repro.core.consistency import (abort_checkpoint, begin_checkpoint,
+                                    commit_checkpoint, valid_checkpoint)
 from repro.core.engine import LocalCopyEngine
 from repro.core.index import ModelMeta, ModelTable
+from repro.errors import ModelAlreadyRegistered, ModelNotFound, PortusError
 from repro.obs import Observability
 from repro.pmem.pool import PmemPool
+from repro.rdma.verbs import connect
 from repro.sim import Environment
 
 
@@ -189,3 +193,145 @@ def repack_live(env: Environment, pool: PmemPool,
         obs.metrics.counter("repack.bytes_moved").inc(old.size)
     pass_span.finish(migrated=len(report.models_migrated))
     return report
+
+
+def migrate_model(env: Environment, src_daemon, dst_daemon, name: str,
+                  obs: Optional[Observability] = None) -> Generator:
+    """Process: copy *name*'s newest DONE checkpoint between daemons.
+
+    The live repacker generalized across pools: the destination daemon
+    pulls the source's committed version slot through the transfer
+    engine (one-sided RDMA READ, server-to-server over the fabric) into
+    a freshly created index of its own, then commits it DONE at the
+    same step.  Crash-safe commit ordering (DESIGN.md §13) — every
+    window is leak-only:
+
+    1. the source entry's CAS guard is claimed, so no checkpoint can
+       flip its slots mid-copy;
+    2. destination index + both version slots are created (a crash here
+       leaks dst extents; the source is untouched);
+    3. the copy lands in the dst target slot, persists, and commits
+       DONE — only now does the dst ModelTable learn the name;
+    4. the caller flips the placement-ring pin, then evicts the source
+       copy (:func:`evict_model`) — a crash between 3 and 4 leaves two
+       committed copies, never zero.
+
+    Returns ``(step, bytes_moved)``.  Dedup models are refused: their
+    bytes live in the pool-local chunk store and migrating them means
+    re-chunking on the destination (future work).
+    """
+    from repro.core.daemon import (FLUSH_BARRIER_NS, ModelEntry,
+                                   QP_DEPTH)
+    from repro.core.engine import TransferEngine
+
+    obs = obs if obs is not None else Observability()
+    entry = src_daemon.model_map.get(name)
+    if entry is None:
+        raise ModelNotFound(name)
+    if entry.meta.dedup:
+        raise PortusError(
+            f"{name}: dedup models cannot migrate (chunk store is "
+            f"pool-local)")
+    if dst_daemon.model_map.get(name) is not None:
+        raise ModelAlreadyRegistered(
+            f"{name}: destination daemon already holds this model")
+    src_daemon._claim(entry)
+    span = obs.tracer.span(env, "fleet.migrate", cat="fleet",
+                           track="fleet", model=name)
+    src_mr = None
+    src_mr_owned = False
+    dst_mr = None
+    qps = []
+    try:
+        version, step = valid_checkpoint(entry.meta)
+        src_region = entry.meta.data_region(version)
+        src_mr = entry.version_mrs[version]
+        if src_mr is None or not src_mr.valid:
+            src_mr = yield from src_daemon.node.nic.register_mr(src_region)
+            src_mr_owned = True
+        descriptors = entry.meta.mindex.descriptors
+        specs = [d.to_spec() for d in descriptors]
+        meta_dst = ModelMeta.create(dst_daemon.pool, name, specs)
+        target = None
+        try:
+            target = begin_checkpoint(meta_dst)
+            dst_mr = yield from dst_daemon.node.nic.register_mr(
+                meta_dst.data_region(target))
+            dst_qp, src_qp = yield from connect(
+                env, dst_daemon.node.nic, src_daemon.node.nic)
+            qps = [dst_qp, src_qp]
+            # Same layout on both pools, so each descriptor's offset is
+            # valid in either region; the "client" side of each pair is
+            # the source server's MR.
+            pairs = [(d, {"addr": src_mr.addr + d.offset,
+                          "rkey": src_mr.rkey}) for d in descriptors]
+            engine = TransferEngine(
+                env, [dst_qp], depth=QP_DEPTH,
+                chunk_bytes=dst_daemon.engine_chunk_bytes,
+                pipelined=dst_daemon.engine_pipelined,
+                largest_first=dst_daemon.engine_largest_first,
+                stream_limit=dst_daemon._pmem_streams,
+                obs=obs)
+            try:
+                moved = yield from engine.pull(dst_mr, pairs,
+                                               f"migrate:{name}")
+            except BaseException:
+                engine.abort()
+                raise
+            if dst_daemon.pool.closed or src_daemon.pool.closed:
+                raise PortusError(
+                    f"{name}: a pool died during migration")
+            meta_dst.data_region(target).persist()
+            yield env.timeout(FLUSH_BARRIER_NS)
+            commit_checkpoint(meta_dst, target, step)
+        except BaseException:
+            # Nothing was published on the destination; unwind it all
+            # (on a live pool) so the only cost of a failed migration
+            # is the source staying where it was.
+            if not dst_daemon.pool.closed:
+                if target is not None:
+                    abort_checkpoint(meta_dst, target, data_dirty=True)
+                meta_dst.free()
+            raise
+        dst_entry = ModelEntry(meta_dst)
+        dst_daemon.model_map.insert(name, dst_entry)
+        dst_daemon.table.insert(name, meta_dst.meta.addr)
+    finally:
+        for qp in qps:
+            if qp.error is None:
+                qp.transition_to_error("migration transport done")
+        if dst_mr is not None and dst_mr.valid:
+            dst_daemon.node.nic.deregister_mr(dst_mr)
+        if src_mr_owned and src_mr is not None and src_mr.valid:
+            src_daemon.node.nic.deregister_mr(src_mr)
+        src_daemon._release(entry)
+        span.finish()
+    obs.metrics.counter("fleet.migrations").inc()
+    obs.metrics.counter("fleet.migrated_bytes").inc(moved)
+    return step, moved
+
+
+def evict_model(src_daemon, name: str) -> None:
+    """Drop *name* from the source daemon after a migration committed.
+
+    Mirrors UNREGISTER's recovery ordering: deregister the version MRs,
+    remove the (committed) ModelTable entry, then free the extents —
+    a crash mid-evict leaks GC-able extents instead of dangling a table
+    entry at freed metadata.  The tenant's byte charge is *not*
+    released: the model still exists, just on another shard.
+    """
+    entry = src_daemon.model_map.get(name)
+    if entry is None:
+        raise ModelNotFound(name)
+    src_daemon._claim(entry)
+    try:
+        for version in (0, 1):
+            mr = entry.version_mrs[version]
+            if mr is not None and mr.valid:
+                src_daemon.node.nic.deregister_mr(mr)
+            entry.version_mrs[version] = None
+        src_daemon.table.remove(name)
+        entry.meta.free()
+        src_daemon.model_map.delete(name)
+    finally:
+        src_daemon._release(entry)

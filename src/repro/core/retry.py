@@ -24,17 +24,19 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.errors import (CheckpointInProgress, ConnectionClosed,
-                          DaemonUnavailable, NetworkError, NotAttached,
-                          QpStateError, RequestTimeout, WorkRequestError)
+from repro.errors import (AdmissionReject, CheckpointInProgress,
+                          ConnectionClosed, DaemonUnavailable, NetworkError,
+                          NotAttached, QpStateError, RequestTimeout,
+                          WorkRequestError)
 from repro.units import msecs, usecs
 
 #: Faults that invalidate the session transport: retry after re-attach.
 TRANSPORT_FAULTS = (ConnectionClosed, NetworkError, QpStateError,
                     WorkRequestError, RequestTimeout, DaemonUnavailable,
                     NotAttached)
-#: Faults retried on the existing transport (daemon-side contention).
-CONTENTION_FAULTS = (CheckpointInProgress,)
+#: Faults retried on the existing transport (daemon-side contention /
+#: admission backpressure — the daemon is healthy, just busy).
+CONTENTION_FAULTS = (CheckpointInProgress, AdmissionReject)
 #: Everything a retry attempt may absorb.
 RETRYABLE_FAULTS = TRANSPORT_FAULTS + CONTENTION_FAULTS
 

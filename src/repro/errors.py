@@ -183,3 +183,23 @@ class NotAttached(PortusError):
 class RequestTimeout(PortusError):
     """A control-plane request exceeded its deadline (client gave up
     waiting for the reply, or the daemon aborted a wedged handler)."""
+
+
+class AdmissionReject(PortusError):
+    """The daemon (or its tenant's bandwidth budget) refused new work.
+
+    Transient backpressure, not a failure: the session transport stays
+    up and the client retries after ``retry_after_ns`` (the daemon's
+    deterministic hint) instead of its own jittered backoff.
+    """
+
+    def __init__(self, message: str, retry_after_ns: int = 0) -> None:
+        super().__init__(message)
+        self.retry_after_ns = int(retry_after_ns)
+
+
+class TenantQuotaExceeded(PortusError):
+    """A registration would push the tenant past its byte quota.
+
+    Permanent for the offending request: retrying without freeing
+    capacity (or raising the quota) cannot succeed."""

@@ -141,14 +141,16 @@ class FaultInjector:
     def drop_tcp(self, hostname: str) -> int:
         """Sever established control-plane connections of *hostname*."""
         dropped = 0
-        daemon = self.cluster.daemon
-        if hostname == daemon.tcp.hostname:
-            for conn in list(daemon._conns):
-                conn.drop()
-                dropped += 1
-            return dropped
-        client = self.cluster._portus_clients.get(hostname)
-        if client is not None:
+        for shard in self.cluster.shards:
+            if hostname == shard.daemon.tcp.hostname:
+                for conn in list(shard.daemon._conns):
+                    conn.drop()
+                    dropped += 1
+                return dropped
+        for (node_name, _shard), client in \
+                list(self.cluster._portus_clients.items()):
+            if node_name != hostname:
+                continue
             for session in client.sessions:
                 if session.conn is not None and not session.conn.closed:
                     session.conn.drop()
@@ -164,36 +166,47 @@ class FaultInjector:
         RkeyViolation, like DMA into a freed process).  The daemon is
         *not* told — only its lease reaper can reclaim the entry.
         """
-        client = self.cluster._portus_clients.pop(node_name, None)
-        if client is None:
-            return 0
+        keys = [key for key in self.cluster._portus_clients
+                if key[0] == node_name]
         killed = 0
-        for session in list(client.sessions):
-            if session.conn is not None and not session.conn.closed:
-                session.conn.drop()
-            for qp in session.qps:
-                if qp.error is None:
-                    qp.transition_to_error("client process died")
-            for mr in session.mrs:
-                if mr.valid:
-                    client.node.nic.deregister_mr(mr)
-            session.mrs = []
-            killed += 1
-        client.sessions = []
+        for key in keys:
+            client = self.cluster._portus_clients.pop(key)
+            for session in list(client.sessions):
+                if session.conn is not None and not session.conn.closed:
+                    session.conn.drop()
+                for qp in session.qps:
+                    if qp.error is None:
+                        qp.transition_to_error("client process died")
+                for mr in session.mrs:
+                    if mr.valid:
+                        client.node.nic.deregister_mr(mr)
+                session.mrs = []
+                killed += 1
+            client.sessions = []
         return killed
 
-    def crash_daemon(self) -> None:
-        self.cluster.kill_daemon()
+    def crash_daemon(self, shard: int = 0) -> None:
+        self.cluster.kill_daemon(shard=shard)
 
-    def restart_daemon(self) -> None:
-        if not self.cluster.daemon.stopped:
-            self.cluster.kill_daemon()
-        self.cluster.restart_daemon()
+    def restart_daemon(self, shard: int = 0) -> None:
+        if not self.cluster.shards[shard].daemon.stopped:
+            self.cluster.kill_daemon(shard=shard)
+        self.cluster.restart_daemon(shard=shard)
 
-    def power_loss(self) -> None:
-        self.cluster.crash_server()
+    def power_loss(self, shard: int = 0) -> None:
+        self.cluster.crash_server(shard=shard)
 
-    def corrupt_pool(self, mode: str) -> bool:
+    def _shard_index(self, target) -> int:
+        """Resolve a fault event's storage-shard target (None = shard 0,
+        the legacy single-daemon case)."""
+        if target is None:
+            return 0
+        for shard in self.cluster.shards:
+            if shard.name == target:
+                return shard.index
+        raise ReproError(f"no storage shard named {target!r}")
+
+    def corrupt_pool(self, mode: str, shard: int = 0) -> bool:
         """Plant structural damage of *mode* in the live pool; returns
         False (skipped) when the pool is closed or has nothing to hit.
 
@@ -218,7 +231,7 @@ class FaultInjector:
         from repro.errors import PmemError
         from repro.hw.content import ByteContent
 
-        pool = self.cluster.portus_pool
+        pool = self.cluster.shards[shard].pool
         if pool.closed:
             return False
         if mode == "leak":
@@ -302,17 +315,18 @@ class FaultInjector:
     def _apply_client_kill(self, event: FaultEvent) -> None:
         self.kill_client(event.target)
 
-    def _apply_daemon_crash(self, _event: FaultEvent) -> None:
-        self.crash_daemon()
+    def _apply_daemon_crash(self, event: FaultEvent) -> None:
+        self.crash_daemon(shard=self._shard_index(event.target))
 
-    def _apply_daemon_restart(self, _event: FaultEvent) -> None:
-        self.restart_daemon()
+    def _apply_daemon_restart(self, event: FaultEvent) -> None:
+        self.restart_daemon(shard=self._shard_index(event.target))
 
-    def _apply_power_loss(self, _event: FaultEvent) -> None:
-        self.power_loss()
+    def _apply_power_loss(self, event: FaultEvent) -> None:
+        self.power_loss(shard=self._shard_index(event.target))
 
     def _apply_pool_corrupt(self, event: FaultEvent) -> None:
-        applied = self.corrupt_pool(event.params.get("mode", "leak"))
+        applied = self.corrupt_pool(event.params.get("mode", "leak"),
+                                    shard=self._shard_index(event.target))
         if not applied:
             self.obs.metrics.counter("faults.pool_corrupt_skipped").inc()
 
@@ -322,7 +336,8 @@ class FaultInjector:
         if isinstance(nic, Rnic):
             return nic
         cluster = self.cluster
-        for node in [cluster.server, cluster.volta] + cluster.amperes:
+        storage = [shard.node for shard in cluster.shards]
+        for node in storage + [cluster.volta] + cluster.amperes:
             if node.nic is not None and node.nic.name == nic:
                 return node.nic
         raise ReproError(f"no NIC named {nic!r} in the cluster")

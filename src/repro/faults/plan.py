@@ -140,7 +140,8 @@ class FaultPlan:
                allow_daemon_faults: bool = True,
                max_wr_rate: float = 0.3,
                auto_recover_daemon: bool = True,
-               allow_pool_corrupt: bool = False) -> "FaultPlan":
+               allow_pool_corrupt: bool = False,
+               storage_shards: Sequence[str] = ("server",)) -> "FaultPlan":
         """A randomized but *well-formed* schedule.
 
         Well-formed means faults that need an undo get one: a link that
@@ -158,6 +159,13 @@ class FaultPlan:
         events (stale-active / torn-flags / leaked-extent damage) to the
         draw, which likewise only fsck — and hence the operator — can
         undo.
+
+        ``storage_shards`` lists the storage-node names of a sharded
+        fleet; every daemon-side fault (TCP_DROP, DAEMON_CRASH and its
+        paired restart, POWER_LOSS, POOL_CORRUPT) then targets one
+        shard drawn from *rng*.  The default single-shard tuple draws
+        **nothing** extra from the RNG, so every legacy seed still
+        yields its historical plan byte for byte.
         """
         kinds = [FaultKind.LINK_DOWN, FaultKind.WR_FAULT_RATE,
                  FaultKind.QP_ERROR, FaultKind.TCP_DROP]
@@ -167,6 +175,14 @@ class FaultPlan:
             kinds.append(FaultKind.POWER_LOSS)
         if allow_pool_corrupt:
             kinds.append(FaultKind.POOL_CORRUPT)
+        shards = list(storage_shards)
+        # Single-shard plans keep the legacy no-target events (and,
+        # critically, the legacy RNG draw sequence).
+        multi = len(shards) > 1
+
+        def draw_shard() -> Optional[str]:
+            return rng.choice(shards) if multi else None
+
         plan = cls()
         for _ in range(events):
             at_ns = rng.randrange(1, max(2, horizon_ns))
@@ -188,18 +204,24 @@ class FaultPlan:
             elif kind == FaultKind.QP_ERROR:
                 plan.at(at_ns, FaultKind.QP_ERROR, rng.choice(list(nics)))
             elif kind == FaultKind.TCP_DROP:
-                plan.at(at_ns, FaultKind.TCP_DROP, "server")
+                target = draw_shard() if multi else "server"
+                plan.at(at_ns, FaultKind.TCP_DROP, target)
             elif kind == FaultKind.DAEMON_CRASH:
-                plan.at(at_ns, FaultKind.DAEMON_CRASH)
+                target = draw_shard()
+                plan.at(at_ns, FaultKind.DAEMON_CRASH, target)
                 if auto_recover_daemon:
                     downtime = rng.randrange(usecs(100), msecs(3))
-                    plan.at(at_ns + downtime, FaultKind.DAEMON_RESTART)
+                    plan.at(at_ns + downtime, FaultKind.DAEMON_RESTART,
+                            target)
             elif kind == FaultKind.POWER_LOSS:
-                plan.at(at_ns, FaultKind.POWER_LOSS)
+                target = draw_shard()
+                plan.at(at_ns, FaultKind.POWER_LOSS, target)
                 if auto_recover_daemon:
                     downtime = rng.randrange(usecs(200), msecs(3))
-                    plan.at(at_ns + downtime, FaultKind.DAEMON_RESTART)
+                    plan.at(at_ns + downtime, FaultKind.DAEMON_RESTART,
+                            target)
             elif kind == FaultKind.POOL_CORRUPT:
+                target = draw_shard()
                 mode = rng.choice(("stale-active", "torn-flags", "leak"))
-                plan.at(at_ns, FaultKind.POOL_CORRUPT, mode=mode)
+                plan.at(at_ns, FaultKind.POOL_CORRUPT, target, mode=mode)
         return plan

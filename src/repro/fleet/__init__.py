@@ -1,0 +1,36 @@
+"""Fleet-scale sharded checkpoint service.
+
+One daemon/pool pair is a *shard*; this package turns N shards into a
+single logical checkpoint service:
+
+* :mod:`repro.fleet.ring` — deterministic consistent-hash placement of
+  ``(tenant, model)`` keys onto shards (virtual nodes, stable under
+  shard add/remove, no reliance on the salted builtin ``hash``);
+* :mod:`repro.fleet.tenants` — per-tenant byte quotas and token-bucket
+  bandwidth budgets, shared across every shard and daemon restart;
+* :mod:`repro.fleet.admission` — bounded per-daemon inflight
+  registration/ingest with typed rejects carrying a retry-after hint;
+* :mod:`repro.fleet.client` — the client-side router: resolves
+  placement, registers through the right shard's daemon, migrates
+  live models between pools through the transfer engine;
+* :mod:`repro.fleet.workload` — the zoo-driven tenant-table generator
+  shared by ``examples/multi_tenant.py`` and ``bench_fleet``.
+
+See DESIGN.md §13 for the architecture and the migration commit
+ordering.
+"""
+
+from repro.fleet.admission import AdmissionController
+from repro.fleet.client import FleetClient
+from repro.fleet.ring import PlacementRing
+from repro.fleet.tenants import TenantRegistry
+from repro.fleet.workload import TenantSpec, generate_tenants
+
+__all__ = [
+    "AdmissionController",
+    "FleetClient",
+    "PlacementRing",
+    "TenantRegistry",
+    "TenantSpec",
+    "generate_tenants",
+]

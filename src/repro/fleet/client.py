@@ -1,0 +1,156 @@
+"""The fleet router: place, register, fail over, and migrate models.
+
+A :class:`FleetClient` sits between the training jobs and an N-shard
+:class:`~repro.harness.cluster.PaperCluster`.  It owns the placement
+ring, resolves every ``(tenant, model)`` to a shard, registers through
+that shard's :class:`~repro.core.client.PortusClient` (passing the
+tenant name so the daemon can enforce quotas), and can live-migrate a
+model between shards through the transfer engine.
+
+Migration commit ordering (DESIGN.md §13; every window leak-only):
+
+1. :func:`~repro.core.repack.migrate_model` copies the newest DONE
+   version into a fresh index on the destination daemon and commits it
+   (the source's CAS guard held throughout — no concurrent dump can
+   flip the slot mid-copy);
+2. the ring entry is pinned to the destination — lookups now route new
+   attaches to the shard that provably holds the bytes;
+3. the source copy is evicted (:func:`~repro.core.repack.evict_model`);
+4. the live session, if any, is re-bound: transport torn down and
+   re-attached against the destination daemon.
+
+A crash between any two steps leaves at least one committed copy and
+at worst leaks the other — never loses the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.repack import evict_model, migrate_model
+from repro.errors import ReproError
+from repro.fleet.ring import PlacementRing
+from repro.fleet.workload import TenantSpec, place_on_cluster
+
+
+class FleetClient:
+    """Tenant-facing router over a sharded PaperCluster."""
+
+    def __init__(self, cluster, ring: Optional[PlacementRing] = None,
+                 vnodes: Optional[int] = None) -> None:
+        self.cluster = cluster
+        if ring is None:
+            kwargs = {} if vnodes is None else {"vnodes": vnodes}
+            ring = PlacementRing(
+                (shard.name for shard in cluster.shards), **kwargs)
+        self.ring = ring
+        self.obs = cluster.obs
+        #: (tenant, model name) -> live ModelSession.
+        self._sessions: Dict[Tuple[str, str], object] = {}
+
+    # -- placement --------------------------------------------------------
+
+    def shard_of(self, tenant: str, model_name: str):
+        """The StorageShard the ring places ``(tenant, model)`` on."""
+        return self.cluster.shard_named(self.ring.lookup(tenant,
+                                                         model_name))
+
+    def session_of(self, tenant: str, model_name: str):
+        return self._sessions.get((tenant, model_name))
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, tenant: str, model, node=None, gpu: int = 0,
+                 dedup: bool = False,
+                 chunk_bytes: Optional[int] = None,
+                 instance_name: Optional[str] = None,
+                 model_seed: Optional[int] = None) -> Generator:
+        """Process: place and register one model for *tenant*.
+
+        *model* is a zoo name / ModelSpec / materialized ModelInstance
+        (same contract as ``PaperCluster.portus_register``).  Placement
+        keys on the registered instance name, so two tenants running
+        the same architecture land independently.
+        """
+        from repro.dnn.tensor import ModelInstance
+
+        if isinstance(model, ModelInstance):
+            instance = model
+        else:
+            instance = self.cluster.materialize(
+                model, node=node, gpu=gpu, seed=model_seed,
+                instance_name=instance_name)
+        name = instance.name
+        shard = self.shard_of(tenant, name)
+        client = self.cluster.portus_client(node, shard=shard.index)
+        session = yield from client.register(instance, dedup=dedup,
+                                             chunk_bytes=chunk_bytes,
+                                             tenant=tenant)
+        self._sessions[(tenant, name)] = session
+        self.obs.metrics.counter(
+            f"fleet.placements.{shard.name}").inc()
+        return session
+
+    def register_spec(self, spec: TenantSpec, dedup: bool = False
+                      ) -> Generator:
+        """Process: register one generated-workload tenant row."""
+        node, gpu = place_on_cluster(self.cluster, spec)
+        instance = self.cluster.materialize(
+            spec.model, node=node, gpu=gpu, seed=spec.model_seed,
+            instance_name=spec.instance_name)
+        return (yield from self.register(spec.name, instance, node=node,
+                                         dedup=dedup))
+
+    # -- migration --------------------------------------------------------
+
+    def migrate(self, tenant: str, model_name: str,
+                dst_shard_name: str) -> Generator:
+        """Process: move a model to *dst_shard_name*, live.
+
+        Returns ``(step, bytes_moved)`` of the migrated checkpoint.
+        The model's session (if this router registered one) ends the
+        call attached to the destination daemon.
+        """
+        src_shard = self.shard_of(tenant, model_name)
+        dst_shard = self.cluster.shard_named(dst_shard_name)
+        if dst_shard.name == src_shard.name:
+            raise ReproError(
+                f"{tenant}/{model_name} already lives on "
+                f"{dst_shard.name}")
+        step, moved = yield from migrate_model(
+            self.cluster.env, src_shard.daemon, dst_shard.daemon,
+            model_name, obs=self.obs)
+        # The destination holds a committed copy: flip the ring pin
+        # FIRST so every new lookup routes to bytes that exist, then
+        # drop the source copy.
+        self.ring.assign(tenant, model_name, dst_shard.name)
+        evict_model(src_shard.daemon, model_name)
+        session = self._sessions.get((tenant, model_name))
+        if session is not None:
+            old_client = session.client
+            new_client = self.cluster.portus_client(
+                old_client.node, shard=dst_shard.index)
+            if session in old_client.sessions:
+                old_client.sessions.remove(session)
+            session.client = new_client
+            new_client.sessions.append(session)
+            session._teardown_transport()
+            yield from session._ensure_attached()
+        self.obs.metrics.counter(
+            f"fleet.migrations.{src_shard.name}->{dst_shard.name}").inc()
+        return step, moved
+
+    # -- introspection ----------------------------------------------------
+
+    def placements(self) -> Dict[str, List[str]]:
+        """shard name -> sorted list of "tenant/model" keys it owns."""
+        result: Dict[str, List[str]] = {
+            shard.name: [] for shard in self.cluster.shards}
+        for (tenant, model), _session in sorted(self._sessions.items()):
+            result[self.ring.lookup(tenant, model)].append(
+                f"{tenant}/{model}")
+        return result
+
+    def __repr__(self) -> str:
+        return (f"<FleetClient shards={len(self.cluster.shards)} "
+                f"sessions={len(self._sessions)}>")

@@ -1,4 +1,4 @@
-"""The paper's testbed, wired up (§V-A).
+"""The paper's testbed, wired up (§V-A) — now fleet-capable.
 
 * **Client-Volta**: 2x EPYC 7742 (128 cores), 1 TiB DRAM, 4x V100-32GB,
   ConnectX-5 — the single-GPU checkpoint/restore experiments.
@@ -8,6 +8,14 @@
   under ext4-DAX + BeeGFS, half in devdax mode owned by Portus; one
   ConnectX-5.  Everything hangs off one 100 Gbps IB switch.
 
+``storage_nodes=N`` scales the storage side out to N independent
+*shards* — each a :class:`StorageShard` with its own server node, TCP
+stack, PMem pool, and daemon (DESIGN.md §13).  ``storage_nodes=1`` is
+the degenerate case and is wired in exactly the seed order, so every
+single-daemon experiment stays bit-identical.  ``cluster.daemon`` /
+``cluster.portus_pool`` / ``cluster.server`` remain as views of shard
+0 for all existing call sites.
+
 The cluster also owns the storage stacks (Portus daemon + pool, BeeGFS
 server, local ext4 on each client's NVMe) and exposes process helpers so
 experiments read like the paper's method sections.
@@ -15,13 +23,15 @@ experiments read like the paper's method sections.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Union
+from typing import Dict, Generator, List, Optional, Tuple, Union
 
 from repro.core.client import PortusClient
 from repro.core.daemon import PortusDaemon
 from repro.dnn.models import ModelSpec
 from repro.dnn.zoo import build_zoo_model as build_model
 from repro.dnn.tensor import ModelInstance
+from repro.fleet.admission import AdmissionController
+from repro.fleet.tenants import TenantRegistry
 from repro.fs.beegfs import BeegfsClient, BeegfsServer
 from repro.fs.dax import DaxFilesystem
 from repro.fs.ext4 import LocalExtFilesystem
@@ -36,6 +46,26 @@ from repro.sim import Environment, RandomStreams
 from repro.units import gib
 
 
+class StorageShard:
+    """One storage server: node + TCP stack + PMem pool + daemon."""
+
+    def __init__(self, index: int, node: StorageNode, tcp: TcpStack,
+                 pool: PmemPool, daemon: PortusDaemon) -> None:
+        self.index = index
+        self.node = node
+        self.tcp = tcp
+        self.pool = pool
+        self.daemon = daemon
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def __repr__(self) -> str:
+        return (f"<StorageShard {self.index} {self.name!r} "
+                f"daemon={'up' if not self.daemon.stopped else 'down'}>")
+
+
 class PaperCluster:
     """One fully-wired instance of the evaluation testbed."""
 
@@ -44,22 +74,30 @@ class PaperCluster:
                  daemon_kwargs: Optional[Dict] = None,
                  client_retry=None, client_num_qps: int = 1,
                  tracing: bool = False,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 storage_nodes: int = 1,
+                 admission: Optional[Dict] = None) -> None:
+        if storage_nodes < 1:
+            raise ValueError(
+                f"storage_nodes must be >= 1, got {storage_nodes}")
         env = Environment()
         self.env = env
         self.rand = RandomStreams(seed)
         self.fabric = Fabric(env)
-        #: One observability bundle for the whole deployment — the
+        #: One observability bundle for the whole deployment — every
         #: daemon (and its successors across restarts), every client,
         #: and the fault injector all share it.
         self.obs = obs if obs is not None else Observability(tracing=tracing)
+        #: Fleet-wide tenant quotas/budgets, shared by all shards and
+        #: surviving daemon restarts.
+        self.tenants = TenantRegistry(obs=self.obs)
+        self._admission_kwargs = dict(admission) if admission else None
 
-        # Storage server (AEP).
-        self.server = StorageNode(env, "server", cores=72,
-                                  dram_capacity=gib(192))
-        Rnic(env, self.server, self.fabric, name="server")
-        self.server_tcp = TcpStack(env, self.fabric, self.server.nic.port,
-                                   "server")
+        # Storage server (AEP) — shard 0, wired in the seed order.
+        server = StorageNode(env, "server", cores=72,
+                             dram_capacity=gib(192))
+        Rnic(env, server, self.fabric, name="server")
+        server_tcp = TcpStack(env, self.fabric, server.nic.port, "server")
 
         # Client-Volta.
         self.volta = ComputeNode(env, "volta", cores=128,
@@ -71,7 +109,7 @@ class PaperCluster:
 
         # Client-Ampere nodes.
         self.amperes: List[ComputeNode] = []
-        self._tcp: Dict[str, TcpStack] = {"server": self.server_tcp,
+        self._tcp: Dict[str, TcpStack] = {"server": server_tcp,
                                           "volta": self.volta_tcp}
         for i in range(ampere_nodes):
             node = ComputeNode(env, f"ampere{i}", cores=128,
@@ -87,27 +125,79 @@ class PaperCluster:
             for gpu in node.gpus:
                 enable_peer_memory(node.nic, gpu)
 
-        # Storage stacks.
-        self.portus_pool = PmemPool.format(self.server.pmem_devdax,
-                                           max_extents=65536)
+        # Storage stacks — shard 0 first, in the seed creation order.
+        pool0 = PmemPool.format(server.pmem_devdax, max_extents=65536)
         self._daemon_kwargs = dict(daemon_kwargs or {})
         self.client_retry = client_retry
         self.client_num_qps = client_num_qps
-        self.daemon = PortusDaemon(env, self.server, self.portus_pool,
-                                   self.server_tcp, obs=self.obs,
-                                   **self._daemon_kwargs)
+        daemon0 = self._make_daemon(server, pool0, server_tcp)
         if start_daemon:
-            self.daemon.start()
-        self.beegfs_backing = DaxFilesystem(env, self.server.pmem_fsdax)
-        self.beegfs_server = BeegfsServer(env, self.server,
-                                          self.beegfs_backing)
+            daemon0.start()
+        self.shards: List[StorageShard] = [
+            StorageShard(0, server, server_tcp, pool0, daemon0)]
+        self.beegfs_backing = DaxFilesystem(env, server.pmem_fsdax)
+        self.beegfs_server = BeegfsServer(env, server, self.beegfs_backing)
         self._beegfs_mounts: Dict[str, BeegfsClient] = {}
         self.volta_ext4 = LocalExtFilesystem(env, self.volta.nvme)
 
-        self._portus_clients: Dict[str, PortusClient] = {}
+        # Extra shards (server1..serverN-1) come after the seed wiring
+        # so the storage_nodes=1 event/RNG order is untouched.
+        for i in range(1, storage_nodes):
+            node = StorageNode(env, f"server{i}", cores=72,
+                               dram_capacity=gib(192))
+            Rnic(env, node, self.fabric, name=node.name)
+            tcp = TcpStack(env, self.fabric, node.nic.port, node.name)
+            self._tcp[node.name] = tcp
+            pool = PmemPool.format(node.pmem_devdax, max_extents=65536)
+            daemon = self._make_daemon(node, pool, tcp)
+            if start_daemon:
+                daemon.start()
+            self.shards.append(StorageShard(i, node, tcp, pool, daemon))
+
+        self._portus_clients: Dict[Tuple[str, int], PortusClient] = {}
         self._model_counter = 0
         #: The self-healing loop, once :meth:`enable_operator` runs.
         self.operator = None
+
+    def _make_daemon(self, node: StorageNode, pool: PmemPool,
+                     tcp: TcpStack, port: Optional[int] = None
+                     ) -> PortusDaemon:
+        kwargs = dict(self._daemon_kwargs)
+        if port is not None:
+            kwargs["port"] = port
+        if self._admission_kwargs is not None:
+            kwargs["admission"] = AdmissionController(
+                obs=self.obs, shard=node.name, **self._admission_kwargs)
+        return PortusDaemon(self.env, node, pool, tcp, obs=self.obs,
+                            tenants=self.tenants, **kwargs)
+
+    # -- shard-0 views (the seed single-daemon API) -----------------------
+
+    @property
+    def server(self) -> StorageNode:
+        return self.shards[0].node
+
+    @property
+    def server_tcp(self) -> TcpStack:
+        return self.shards[0].tcp
+
+    @property
+    def portus_pool(self) -> PmemPool:
+        return self.shards[0].pool
+
+    @property
+    def daemon(self) -> PortusDaemon:
+        return self.shards[0].daemon
+
+    @property
+    def storage_nodes(self) -> int:
+        return len(self.shards)
+
+    def shard_named(self, name: str) -> StorageShard:
+        for shard in self.shards:
+            if shard.name == name:
+                return shard
+        raise KeyError(f"no storage shard named {name!r}")
 
     # -- process helpers -------------------------------------------------------------
 
@@ -129,15 +219,20 @@ class PaperCluster:
             self._beegfs_mounts[node.name] = mount
         return mount
 
-    def portus_client(self, node: Optional[ComputeNode] = None) -> PortusClient:
+    def portus_client(self, node: Optional[ComputeNode] = None,
+                      shard: int = 0) -> PortusClient:
+        """The (cached) client on *node* talking to storage shard *shard*."""
         node = node or self.volta
-        client = self._portus_clients.get(node.name)
+        key = (node.name, shard)
+        client = self._portus_clients.get(key)
         if client is None:
             client = PortusClient(self.env, node, self.tcp_of(node),
-                                  self.daemon, retry=self.client_retry,
+                                  self.shards[shard].daemon,
+                                  retry=self.client_retry,
                                   num_qps=self.client_num_qps,
                                   obs=self.obs)
-            self._portus_clients[node.name] = client
+            client.shard_index = shard
+            self._portus_clients[key] = client
         return client
 
     def materialize(self, model: Union[str, ModelSpec],
@@ -157,21 +252,27 @@ class PaperCluster:
     def portus_register(self, model: Union[str, ModelSpec, ModelInstance],
                         node: Optional[ComputeNode] = None,
                         gpu: int = 0, dedup: bool = False,
-                        chunk_bytes: Optional[int] = None) -> Generator:
+                        chunk_bytes: Optional[int] = None,
+                        shard: int = 0,
+                        tenant: Optional[str] = None) -> Generator:
         """Process: materialize (if needed) and register with the daemon.
 
         ``dedup=True`` opts the model into the deduplicated layout
         (content-hash chunk manifests over the pool-wide refcounted
         chunk store); *chunk_bytes* overrides the default chunk size.
+        *shard*/*tenant* route and account the registration in a fleet
+        topology (see :class:`repro.fleet.client.FleetClient` for the
+        ring-driven version).
         """
         node = node or self.volta
         if isinstance(model, ModelInstance):
             instance = model
         else:
             instance = self.materialize(model, node=node, gpu=gpu)
-        client = self.portus_client(node)
+        client = self.portus_client(node, shard=shard)
         session = yield from client.register(instance, dedup=dedup,
-                                             chunk_bytes=chunk_bytes)
+                                             chunk_bytes=chunk_bytes,
+                                             tenant=tenant)
         return session
 
     def enable_operator(self, **kwargs):
@@ -183,33 +284,38 @@ class PaperCluster:
         self.operator.start()
         return self.operator
 
-    def restart_daemon(self, port: Optional[int] = None) -> None:
-        """Kill and restart the daemon process: the old instance's
-        networking tears down, the pool is re-opened, and the index
-        recovered from PMem (ModelMap rebuilt).  The successor binds the
-        *same* port by default, so clients that survived the daemon can
-        reconnect without rediscovery."""
-        old_port = self.daemon.port
-        if not self.daemon.stopped:
-            self.daemon.crash()
-        pool = PmemPool.open(self.server.pmem_devdax)
-        self.portus_pool = pool
-        self.daemon = PortusDaemon(self.env, self.server, pool,
-                                   self.server_tcp,
-                                   port=old_port if port is None else port,
-                                   obs=self.obs, **self._daemon_kwargs)
-        self.daemon.start()
-        for client in self._portus_clients.values():
-            client.daemon = self.daemon
+    def restart_daemon(self, port: Optional[int] = None,
+                       shard: int = 0) -> None:
+        """Kill and restart shard *shard*'s daemon process: the old
+        instance's networking tears down, the pool is re-opened, and the
+        index recovered from PMem (ModelMap rebuilt).  The successor
+        binds the *same* port by default, so clients that survived the
+        daemon can reconnect without rediscovery."""
+        entry = self.shards[shard]
+        old_port = entry.daemon.port
+        if not entry.daemon.stopped:
+            entry.daemon.crash()
+        pool = PmemPool.open(entry.node.pmem_devdax)
+        entry.pool = pool
+        entry.daemon = self._make_daemon(
+            entry.node, pool, entry.tcp,
+            port=old_port if port is None else port)
+        entry.daemon.start()
+        for (_, shard_idx), client in self._portus_clients.items():
+            if shard_idx == shard:
+                client.daemon = entry.daemon
 
-    def kill_daemon(self) -> None:
+    def kill_daemon(self, shard: int = 0) -> None:
         """The daemon process dies (SIGKILL): networking gone, QPs
         flushed, pool closed un-synced — but no power loss, so persisted
         bytes survive for :meth:`restart_daemon` to recover."""
-        self.daemon.crash()
+        self.shards[shard].daemon.crash()
 
-    def crash_server(self) -> None:
-        """Power-fail the server: the PMem pool loses unflushed data
-        (lost or torn) and the daemon process dies with the machine."""
-        self.portus_pool.crash(self.rand.stream("crash"))
-        self.daemon.crash()
+    def crash_server(self, shard: int = 0) -> None:
+        """Power-fail a storage server: the PMem pool loses unflushed
+        data (lost or torn) and the daemon process dies with the
+        machine."""
+        entry = self.shards[shard]
+        stream = "crash" if shard == 0 else f"crash.{shard}"
+        entry.pool.crash(self.rand.stream(stream))
+        entry.daemon.crash()

@@ -47,8 +47,8 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional
 
 from repro.ops.health import (H_CORRUPT, H_DEGRADED, H_DOWN, H_HEALTHY,
-                              H_WEDGED, HealthThresholds, classify,
-                              overlay_fsck)
+                              H_WEDGED, SEVERITY, HealthThresholds,
+                              classify, overlay_fsck)
 from repro.pmem.fsck import fsck, repair
 from repro.sim import Environment
 from repro.units import msecs
@@ -100,8 +100,12 @@ class RemediationOperator:
         self.controller = controller
         if controller is not None:
             controller.observe_start(env.now)
-        #: FailoverCheckpointers this operator steers (force/drain).
+        #: FailoverCheckpointers this operator steers (force/drain),
+        #: flat across every shard.
         self.failovers: List = []
+        #: shard index -> the failovers whose sessions live there
+        #: (restart/degrade remediations only park those clients).
+        self._failovers_by: Dict[int, List] = {}
         #: The deterministic decision log: one line per tick.
         self.decisions: List[str] = []
         self.ticks = 0
@@ -114,12 +118,19 @@ class RemediationOperator:
         self.last_state = H_HEALTHY
         self.last_reasons: List[str] = []
         self.last_fsck_clean = True
+        #: shard index -> classified state / fsck verdict from the last
+        #: tick (``last_state``/``last_fsck_clean`` are the fleet
+        #: rollup: worst state, AND over clean bits).
+        self.shard_states: Dict[int, str] = {}
+        self.shard_fsck_clean: Dict[int, bool] = {}
         self.stopped = True
-        self._previous_sample: Optional[Dict] = None
-        self._last_action_ns: Dict[str, int] = {}
+        self._previous_samples: Dict[int, Optional[Dict]] = {}
+        #: cooldown ledger keyed (action, shard): restarting server1
+        #: must not block a needed restart of server2.
+        self._last_action_ns: Dict = {}
         self._recent_action_ns: List[int] = []
         self._breaker_open_until: Optional[int] = None
-        self._degraded_streak = 0
+        self._degraded_streaks: Dict[int, int] = {}
         self._unverified_streak = 0
         self._process = None
 
@@ -135,9 +146,11 @@ class RemediationOperator:
     def stop(self) -> None:
         self.stopped = True
 
-    def register_failover(self, checkpointer) -> None:
-        """Give the operator the steering wheel for one client."""
+    def register_failover(self, checkpointer, shard: int = 0) -> None:
+        """Give the operator the steering wheel for one client.
+        *shard* is the storage shard the client's model lives on."""
         self.failovers.append(checkpointer)
+        self._failovers_by.setdefault(shard, []).append(checkpointer)
 
     def _loop(self) -> Generator:
         from repro.errors import ReproError
@@ -162,43 +175,67 @@ class RemediationOperator:
 
     def tick(self) -> str:
         """One detect → diagnose → remediate → verify round.  Returns
-        the action taken (one of the ``A_*`` constants)."""
+        the action taken (one of the ``A_*`` constants).
+
+        Every storage shard is sampled and classified each tick; when
+        several are unhealthy at once, the **worst incident wins**
+        (ties broken by shard index) and gets this tick's one action —
+        the rest wait their turn.  Per-(action, shard) cooldowns keep
+        a busy shard from starving its neighbours.
+        """
         self.ticks += 1
         self.obs.metrics.counter("ops.ticks").inc()
-        sample = self.cluster.daemon.health_snapshot()
-        state, reasons = classify(sample, self._previous_sample,
-                                  self.thresholds)
-        pool = self.cluster.portus_pool
-        if (state != H_DOWN and not pool.closed
-                and sample.get("inflight", 0) == 0):
-            # A quiescent pool gets a structural verification pass.
-            # Never while a pull is in flight: its ACTIVE slot is
-            # legitimate work, not damage to demote.
-            report = fsck(pool, obs=self.obs)
-            self.last_fsck_clean = report.clean
-            state, reasons = overlay_fsck(state, reasons, report)
-        self._previous_sample = sample
+        incidents = []
+        for shard in self.cluster.shards:
+            index = shard.index
+            sample = shard.daemon.health_snapshot()
+            state, reasons = classify(
+                sample, self._previous_samples.get(index),
+                self.thresholds)
+            pool = shard.pool
+            if (state != H_DOWN and not pool.closed
+                    and sample.get("inflight", 0) == 0):
+                # A quiescent pool gets a structural verification pass.
+                # Never while a pull is in flight: its ACTIVE slot is
+                # legitimate work, not damage to demote.
+                report = fsck(pool, obs=self.obs)
+                self.shard_fsck_clean[index] = report.clean
+                state, reasons = overlay_fsck(state, reasons, report)
+            self._previous_samples[index] = sample
+            self.shard_states[index] = state
+            incidents.append((index, state, reasons))
+        self.last_fsck_clean = all(self.shard_fsck_clean.values()) \
+            if self.shard_fsck_clean else self.last_fsck_clean
+        index, state, reasons = min(
+            incidents, key=lambda item: (-SEVERITY[item[1]], item[0]))
         self.last_state = state
         self.last_reasons = reasons
-        action = self._remediate(state)
+        action = self._remediate(state, index)
+        where = ""
+        if len(self.cluster.shards) > 1:
+            where = f" shard={self.cluster.shards[index].name}"
         self.decisions.append(
-            f"{self.env.now}ns state={state} action={action}"
+            f"{self.env.now}ns state={state}{where} action={action}"
             + (f" reasons=[{'; '.join(reasons)}]" if reasons else ""))
         return action
 
     @property
     def converged(self) -> bool:
-        """True once the deployment verifies healthy: last classified
-        state healthy, last quiescent fsck clean, no client held."""
-        return (self.last_state == H_HEALTHY and self.last_fsck_clean
+        """True once the deployment verifies healthy: every shard's
+        last classified state healthy, every quiescent fsck clean, no
+        client held."""
+        return (self.last_state == H_HEALTHY
+                and all(state == H_HEALTHY
+                        for state in self.shard_states.values())
+                and self.last_fsck_clean
                 and not any(fc.operator_hold for fc in self.failovers))
 
     # -- remediate → verify -------------------------------------------------------
 
-    def _remediate(self, state: str) -> str:
+    def _remediate(self, state: str, shard: int = 0) -> str:
         now = self.env.now
         if state == H_HEALTHY:
-            self._degraded_streak = 0
+            self._degraded_streaks.clear()
             self._unverified_streak = 0
             if any(fc.operator_hold for fc in self.failovers) \
                     and self.last_fsck_clean:
@@ -216,26 +253,39 @@ class RemediationOperator:
             self._recent_action_ns = []
 
         if state in (H_DOWN, H_WEDGED):
-            self._degraded_streak = 0
+            self._degraded_streaks.pop(shard, None)
             return self._gated(A_RESTART, now,
-                               lambda: self._act_restart(state))
+                               lambda: self._act_restart(state, shard),
+                               shard)
         if state == H_CORRUPT:
-            self._degraded_streak = 0
-            return self._gated(A_REPAIR, now, self._act_repair)
+            self._degraded_streaks.pop(shard, None)
+            return self._gated(A_REPAIR, now,
+                               lambda: self._act_repair(shard), shard)
 
         # Degraded: steer clients local first; a daemon that stays
         # degraded despite that gets the bigger hammer.
-        self._degraded_streak += 1
-        if self._degraded_streak > self.escalate_after:
+        streak = self._degraded_streaks.get(shard, 0) + 1
+        self._degraded_streaks[shard] = streak
+        if streak > self.escalate_after:
             return self._gated(A_RESTART, now,
-                               lambda: self._act_restart(state))
-        if any(not fc.operator_hold for fc in self.failovers):
-            return self._gated(A_DEGRADE, now, self._act_degrade)
+                               lambda: self._act_restart(state, shard),
+                               shard)
+        if any(not fc.operator_hold
+               for fc in self._shard_failovers(shard)):
+            return self._gated(A_DEGRADE, now,
+                               lambda: self._act_degrade(shard), shard)
         return A_NONE
 
-    def _gated(self, action: str, now: int, act) -> str:
-        """Cooldown + circuit-breaker gate around one recovery action."""
-        last = self._last_action_ns.get(action)
+    def _shard_failovers(self, shard: int) -> List:
+        """The failovers a shard-scoped remediation steers.  Clients
+        registered without a shard (legacy callers) ride shard 0."""
+        return self._failovers_by.get(shard, [])
+
+    def _gated(self, action: str, now: int, act, shard: int = 0) -> str:
+        """Cooldown + circuit-breaker gate around one recovery action.
+        Cooldowns are per (action, shard); the breaker is fleet-wide —
+        a crash loop anywhere means the medicine itself is suspect."""
+        last = self._last_action_ns.get((action, shard))
         if last is not None and now - last < self.cooldown_ns:
             return A_COOLDOWN
         window_start = now - self.breaker_window_ns
@@ -246,7 +296,7 @@ class RemediationOperator:
             self.breaker_trips += 1
             self.obs.metrics.counter("ops.breaker_open").inc()
             return A_BREAKER
-        self._last_action_ns[action] = now
+        self._last_action_ns[(action, shard)] = now
         self._recent_action_ns.append(now)
         self.obs.metrics.counter(f"ops.remediations.{action}").inc()
         verified = act()
@@ -260,29 +310,32 @@ class RemediationOperator:
                 self._unverified_streak = 0
         return action
 
-    def _act_restart(self, state: str) -> bool:
-        """Park every client on the DRAM path, restart the daemon on
-        its old port (pool re-open + index recovery), verify the
-        successor is serving."""
-        for fc in self.failovers:
+    def _act_restart(self, state: str, shard: int = 0) -> bool:
+        """Park the shard's clients on the DRAM path, restart its
+        daemon on the old port (pool re-open + index recovery), verify
+        the successor is serving."""
+        for fc in self._shard_failovers(shard):
             fc.force_degrade(reason=f"daemon {state}")
-        self.cluster.restart_daemon()
+        self.cluster.restart_daemon(shard=shard)
         self.restarts += 1
         if self.controller is not None:
             self.controller.observe_failure(self.env.now)
-        sample = self.cluster.daemon.health_snapshot()
+        sample = self.cluster.shards[shard].daemon.health_snapshot()
         return bool(sample.get("up"))
 
-    def _act_repair(self) -> bool:
+    def _act_repair(self, shard: int = 0) -> bool:
         """Structural repair; verification is repair's own re-walk."""
-        result = repair(self.cluster.portus_pool, obs=self.obs)
+        result = repair(self.cluster.shards[shard].pool, obs=self.obs)
         self.repairs += 1
-        self.last_fsck_clean = result.clean
+        self.shard_fsck_clean[shard] = result.clean
+        self.last_fsck_clean = all(self.shard_fsck_clean.values())
         return result.clean
 
-    def _act_degrade(self) -> bool:
-        """Hold every client on the DRAM path until health clears."""
-        for fc in self.failovers:
+    def _act_degrade(self, shard: int = 0) -> bool:
+        """Hold the shard's clients on the DRAM path until health
+        clears."""
+        held = self._shard_failovers(shard)
+        for fc in held:
             fc.force_degrade(reason="daemon degraded")
         self.degrades += 1
-        return all(fc.operator_hold for fc in self.failovers)
+        return all(fc.operator_hold for fc in held)

@@ -152,3 +152,53 @@ def test_cli_stats_trace_out_writes_chrome_trace(tmp_path, capsys):
     names = {event["name"] for event in trace["traceEvents"]}
     assert "daemon.DO_CHECKPOINT" in names
     assert "engine.read" in names
+
+
+# --- fleet mode: --daemons N ----------------------------------------------------
+
+
+def test_cli_fsck_fleet_reports_every_shard(capsys):
+    import json
+
+    assert main(["fsck", "--daemons", "3", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["clean"] is True
+    assert sorted(report["shards"]) == ["server", "server1", "server2"]
+    # Per-key rollup over the fleet: each demo shard holds one model.
+    assert report["checked"]["models"] == 3
+    for shard in report["shards"].values():
+        assert shard["clean"] is True
+
+
+def test_cli_fsck_fleet_text_has_rollup_line(capsys):
+    assert main(["fsck", "--daemons", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "== server ==" in out
+    assert "== server1 ==" in out
+    assert "fleet: clean (2/2 shards clean)" in out
+
+
+def test_cli_health_fleet_rolls_up_worst_state(capsys):
+    import json
+
+    assert main(["health", "--daemons", "3", "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["state"] == "healthy"
+    assert sorted(snapshot["shards"]) == ["server", "server1", "server2"]
+    for entry in snapshot["shards"].values():
+        assert entry["state"] == "healthy"
+        assert entry["sample"]["up"] is True
+
+
+def test_cli_stats_fleet_embeds_per_shard_work(capsys):
+    import json
+
+    assert main(["stats", "--daemons", "2"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    per_shard = snapshot["fleet"]["per_shard"]
+    assert sorted(per_shard) == ["server", "server1"]
+    for entry in per_shard.values():
+        assert entry["checkpoints_completed"] == 1
+        assert entry["bytes_pulled"] > 0
+    # The flat metrics snapshot rides along unchanged.
+    assert "daemon.checkpoints_completed" in snapshot["metrics"]

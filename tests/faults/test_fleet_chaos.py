@@ -1,0 +1,262 @@
+"""Fleet-scale self-healing chaos: N shards, one operator, zero hands.
+
+The single-daemon operator sweep (test_operator_chaos) proves the
+remediation loop heals one deployment.  Here the deployment is a
+3-shard fleet — every shard its own pool, TCP endpoint, and daemon —
+and the random schedules target *any* of them (``storage_shards=``):
+a crash on ``server1`` must restart ``server1``, not the survivor
+that happens to look fine.  The per-schedule contract:
+
+  * the operator alone converges the whole fleet (every shard healthy
+    + fsck-clean, no client held) — zero manual recovery;
+  * afterwards every client checkpoints on the Portus path again;
+  * every shard's pool verifies fsck-clean read-only;
+  * every model restores its newest Portus-acked step bit-exactly;
+  * two runs of the same seed are bit-identical, operator decision log
+    (which names the remediated shard) included.
+
+Knobs (environment variables):
+
+  PORTUS_FLEET_EXAMPLES  number of schedules to run (default 25)
+  PORTUS_CHAOS_SEED      base seed (default 0)
+  CHAOS_TRACE            append one deterministic line per schedule
+                         (used by scripts/check_determinism.sh)
+"""
+
+import os
+import random
+import zlib
+
+import pytest
+
+from repro.core.failover import FailoverCheckpointer
+from repro.core.retry import RetryPolicy
+from repro.dnn.tensor import ModelInstance, TensorSpec
+from repro.errors import ReproError
+from repro.faults import FaultInjector, FaultPlan
+from repro.fleet import FleetClient
+from repro.harness.cluster import PaperCluster
+from repro.ops.health import HealthThresholds
+from repro.pmem.fsck import fsck
+from repro.units import msecs, usecs
+
+pytestmark = pytest.mark.chaos
+
+EXAMPLES = int(os.environ.get("PORTUS_FLEET_EXAMPLES", "25"))
+BASE_SEED = int(os.environ.get("PORTUS_CHAOS_SEED", "0"))
+TRACE_PATH = os.environ.get("CHAOS_TRACE")
+
+SHARDS = 3
+SHARD_NAMES = ("server", "server1", "server2")
+SPECS = [TensorSpec("block.weight", (512, 256)),
+         TensorSpec("block.bias", (512,)),
+         TensorSpec("head.weight", (16, 512))]
+STEPS = 6
+HORIZON_NS = msecs(4)
+SETTLE_DEADLINE_NS = msecs(150)
+
+
+def _trace(line):
+    if TRACE_PATH:
+        with open(TRACE_PATH, "a") as fh:
+            fh.write(line + "\n")
+
+
+def run_fleet_schedule(seed, events=5):
+    """One fleet-wide self-healing chaos episode.
+
+    Returns ``(acked_by_model, restored_by_model, decisions_crc,
+    stats)`` — everything the determinism check compares.
+    """
+    policy = RetryPolicy(rng=random.Random(seed ^ 0xA11CE),
+                         max_attempts=16,
+                         deadline_ns=msecs(25),
+                         reply_timeout_ns=msecs(8))
+    cluster = PaperCluster(
+        seed=seed, ampere_nodes=0, storage_nodes=SHARDS,
+        daemon_kwargs=dict(request_timeout_ns=msecs(20),
+                           lease_ns=msecs(5),
+                           reaper_interval_ns=msecs(1)),
+        client_retry=policy)
+    fleet = FleetClient(cluster)
+    # One model per shard, pinned, so every random shard target has
+    # real client traffic to disturb.
+    for index, shard in enumerate(cluster.shards):
+        fleet.ring.assign(f"t{index}", f"model{index}", shard.name)
+
+    def setup(env):
+        result = []
+        for index in range(SHARDS):
+            instance = ModelInstance.materialize(
+                f"model{index}", SPECS, cluster.volta.gpus[0],
+                model_seed=seed * SHARDS + index)
+            session = yield from fleet.register(f"t{index}", instance)
+            result.append((instance, session))
+        return result
+
+    models = cluster.run(setup)
+    operator = cluster.enable_operator(
+        interval_ns=usecs(500),
+        thresholds=HealthThresholds(wedge_ns=msecs(50)))
+    failovers = []
+    for index, (instance, session) in enumerate(models):
+        failover = FailoverCheckpointer(
+            cluster.env, session, cluster.volta,
+            failure_threshold=2, probe_interval_ns=msecs(1),
+            rng=random.Random((seed << 2) ^ 0xBAC0FF ^ index))
+        operator.register_failover(failover, shard=index)
+        failovers.append(failover)
+
+    rng = random.Random(seed)
+    plan = FaultPlan.random(rng, horizon_ns=HORIZON_NS, events=events,
+                            auto_recover_daemon=False,
+                            allow_pool_corrupt=True,
+                            storage_shards=SHARD_NAMES)
+    injector = FaultInjector(cluster.env, cluster)
+    # Every fourth schedule also arms a power cut at an exact metadata
+    # write boundary on a rotating shard.
+    if seed % 4 == 0:
+        victim = cluster.shards[seed % SHARDS]
+        injector.arm_crash_point(victim.node.pmem_devdax,
+                                 crash_at=rng.randrange(4, 64))
+    base = cluster.env.now
+    injector.install(plan.shifted(base))
+
+    acked = {index: [] for index in range(SHARDS)}
+
+    def traffic(env):
+        for step in range(1, STEPS + 1):
+            for index, (instance, _session) in enumerate(models):
+                instance.update_step(step)
+                try:
+                    result = yield from failovers[index].checkpoint(step)
+                except ReproError:
+                    continue
+                if result["path"] == "portus":
+                    acked[index].append(step)
+            yield env.timeout(usecs(400))
+        remaining = base + plan.horizon_ns() + usecs(50) - env.now
+        if remaining > 0:
+            yield env.timeout(remaining)
+
+    cluster.run(traffic)
+
+    # -- convergence: the operator alone heals every shard ------------------------
+    def settle(env):
+        deadline = env.now + SETTLE_DEADLINE_NS
+        while not operator.converged and env.now < deadline:
+            yield env.timeout(msecs(1))
+        return operator.converged
+
+    converged = cluster.run(settle)
+    context = (f"seed={seed} plan=[{'; '.join(plan.describe().splitlines())}]"
+               f" states={operator.shard_states}"
+               f" decisions={operator.decisions[-8:]}")
+    assert converged, f"operator never converged the fleet: {context}"
+
+    # -- every client is back on the Portus path ----------------------------------
+    def final_checkpoints(env):
+        for index, (instance, _session) in enumerate(models):
+            instance.update_step(STEPS + 1)
+            result = yield from failovers[index].checkpoint(STEPS + 1)
+            assert result["path"] == "portus", \
+                f"model{index} still local after convergence: {context}"
+            acked[index].append(STEPS + 1)
+
+    cluster.run(final_checkpoints)
+
+    # -- structural health, every shard -------------------------------------------
+    for shard in cluster.shards:
+        report = fsck(shard.pool)
+        assert report.clean, (f"{shard.name} fsck dirty after "
+                              f"convergence: {report.describe()} {context}")
+
+    # -- every model restores its newest acked step bit-exactly -------------------
+    restored = {}
+
+    def recover(env):
+        for index, (instance, session) in enumerate(models):
+            instance.update_step(0)
+            restored[index] = yield from session.restore()
+
+    cluster.run(recover)
+    for index, (instance, _session) in enumerate(models):
+        assert restored[index] == max(acked[index]), \
+            f"model{index} restored {restored[index]}: {context}"
+        mismatches = [
+            tensor.name for tensor in instance.tensors
+            if not tensor.content().equals(
+                tensor.expected_content(restored[index]))
+        ]
+        assert mismatches == [], \
+            f"model{index} torn restore {mismatches}: {context}"
+
+    stats = (operator.restarts, operator.repairs, operator.drains)
+    global _last_decisions
+    _last_decisions = list(operator.decisions)
+    decisions_crc = zlib.crc32("\n".join(operator.decisions).encode())
+    acked_tuple = tuple(tuple(acked[i]) for i in range(SHARDS))
+    restored_tuple = tuple(restored[i] for i in range(SHARDS))
+    _trace(f"seed={seed} acked={acked_tuple} restored={restored_tuple} "
+           f"restarts={operator.restarts} repairs={operator.repairs} "
+           f"drains={operator.drains} decisions_crc={decisions_crc:08x} "
+           f"plan=[{'; '.join(plan.describe().splitlines())}]")
+    return acked_tuple, restored_tuple, decisions_crc, stats
+
+
+#: Decision log of the most recent schedule (sweep-level assertions).
+_last_decisions = []
+
+
+def test_fleet_chaos_schedules_self_heal():
+    totals = {"restarts": 0, "repairs": 0, "drains": 0}
+    offdefault_remediations = 0
+    for index in range(EXAMPLES):
+        _acked, _restored, _crc, stats = run_fleet_schedule(
+            BASE_SEED + index)
+        totals["restarts"] += stats[0]
+        totals["repairs"] += stats[1]
+        totals["drains"] += stats[2]
+        offdefault_remediations += sum(
+            1 for line in _last_decisions
+            if (" shard=server1 " in line or " shard=server2 " in line)
+            and ("action=restart-daemon" in line
+                 or "action=fsck-repair" in line))
+    # The sweep must exercise fleet remediation, not degenerate into
+    # all-healthy schedules...
+    assert totals["restarts"] > 0, "no schedule needed a restart"
+    assert totals["drains"] > 0, "no schedule drained a client back"
+    # ... and must prove shard-targeted routing: at least one recovery
+    # action landed on a non-default shard ("restart shard 0 and hope"
+    # would flunk this).
+    assert offdefault_remediations > 0, \
+        "no remediation ever targeted a non-default shard"
+
+
+def test_fleet_chaos_schedule_is_deterministic():
+    seed = BASE_SEED + 737_373
+    first = run_fleet_schedule(seed)
+    second = run_fleet_schedule(seed)
+    assert first == second, "same seed diverged (decision log included)"
+
+
+def test_fleet_chaos_crash_point_schedule_is_deterministic():
+    seed = BASE_SEED + 737_376  # % 4 == 0: arms a crash point
+    assert seed % 4 == 0
+    first = run_fleet_schedule(seed)
+    second = run_fleet_schedule(seed)
+    assert first == second
+
+
+def test_single_shard_plans_unchanged_by_the_shard_knob():
+    """The fleet knob must not perturb legacy chaos seeds: a
+    single-entry ``storage_shards`` draws nothing from the RNG."""
+    for seed in range(20):
+        legacy = FaultPlan.random(random.Random(seed),
+                                  horizon_ns=HORIZON_NS, events=6,
+                                  allow_pool_corrupt=True)
+        gated = FaultPlan.random(random.Random(seed),
+                                 horizon_ns=HORIZON_NS, events=6,
+                                 allow_pool_corrupt=True,
+                                 storage_shards=("server",))
+        assert legacy.describe() == gated.describe()

@@ -1,0 +1,371 @@
+"""The sharded fleet service, end to end.
+
+Covers the four fleet subsystems against live clusters:
+
+* tenant quotas (bytes) and bandwidth token buckets, both at the unit
+  level and enforced by a real daemon through the wire protocol;
+* admission control: bounded inflight ingests with typed rejects the
+  client retry loop absorbs (honouring ``retry_after_ns``);
+* the N-storage-node × M-client topology, including the
+  ``storage_nodes=1`` degenerate case that is the entire pre-fleet
+  test suite's world;
+* live cross-shard migration with bit-exact restore from the
+  destination pool.
+"""
+
+import random
+
+import pytest
+
+from repro.dnn.tensor import ModelInstance, TensorSpec
+from repro.errors import (AdmissionReject, ReproError,
+                          TenantQuotaExceeded)
+from repro.core.retry import RetryPolicy
+from repro.fleet import (AdmissionController, FleetClient, PlacementRing,
+                         TenantRegistry, generate_tenants)
+from repro.harness.cluster import PaperCluster
+from repro.pmem.fsck import fsck
+from repro.units import msecs, secs, usecs
+
+SPECS = [TensorSpec("block.weight", (256, 256)),
+         TensorSpec("block.bias", (256,)),
+         TensorSpec("head.weight", (16, 256))]
+SPECS_BYTES = sum(spec.size_bytes for spec in SPECS)
+
+
+# -- tenant registry (unit) ---------------------------------------------------
+
+
+def test_byte_quota_enforced_and_released():
+    reg = TenantRegistry()
+    reg.register_tenant("acme", byte_quota=1000)
+    reg.charge_bytes("acme", "m1", 600)
+    with pytest.raises(TenantQuotaExceeded):
+        reg.charge_bytes("acme", "m2", 600)
+    assert reg.release_bytes("acme", "m1") == 600
+    reg.charge_bytes("acme", "m2", 600)  # freed budget is reusable
+    assert reg.charged("acme") == 600
+
+
+def test_double_charge_same_model_is_a_bug():
+    reg = TenantRegistry()
+    reg.charge_bytes("acme", "m1", 10)
+    with pytest.raises(ReproError):
+        reg.charge_bytes("acme", "m1", 10)
+
+
+def test_bandwidth_bucket_rejects_with_exact_retry_after():
+    reg = TenantRegistry()
+    reg.register_tenant("acme", bandwidth_bps=1_000_000,
+                        burst_bytes=1_000_000)
+    # A dump larger than the burst is still admitted (the bucket goes
+    # negative: the *average* rate is what is bounded) ...
+    reg.reserve_bandwidth("acme", 1_500_000, now_ns=0)
+    # ... but the next dump must wait until the bucket refills past
+    # zero: 500_001 bytes of deficit at 1 MB/s, to the nanosecond.
+    with pytest.raises(AdmissionReject) as err:
+        reg.reserve_bandwidth("acme", 500_000, now_ns=0)
+    assert err.value.retry_after_ns == 500_001_000
+    # After exactly that wait the same reservation is admitted.
+    reg.reserve_bandwidth("acme", 500_000,
+                          now_ns=err.value.retry_after_ns)
+
+
+def test_unregistered_tenant_is_unlimited():
+    reg = TenantRegistry()
+    reg.charge_bytes("walkin", "m1", 1 << 40)
+    reg.reserve_bandwidth("walkin", 1 << 40, now_ns=0)
+
+
+# -- admission controller (unit) ----------------------------------------------
+
+
+def test_admission_bounds_inflight_and_escalates_retry_after():
+    ctl = AdmissionController(max_ingests=2, retry_after_ns=usecs(100))
+    ctl.enter("ingest")
+    ctl.enter("ingest")
+    with pytest.raises(AdmissionReject) as first:
+        ctl.enter("ingest")
+    with pytest.raises(AdmissionReject) as second:
+        ctl.enter("ingest")
+    # Consecutive rejects back the caller off harder.
+    assert second.value.retry_after_ns > first.value.retry_after_ns
+    ctl.exit("ingest")
+    ctl.enter("ingest")  # a freed slot admits again
+    assert ctl.inflight("ingest") == 2
+    snap = ctl.snapshot()
+    assert snap["ingest"]["rejects"] == 2
+
+
+def test_admission_unbalanced_exit_is_a_bug():
+    ctl = AdmissionController()
+    with pytest.raises(ReproError):
+        ctl.exit("ingest")
+
+
+# -- the degenerate case ------------------------------------------------------
+
+
+def test_single_shard_fleet_is_the_classic_cluster():
+    cluster = PaperCluster(seed=11, ampere_nodes=0, storage_nodes=1)
+    assert len(cluster.shards) == 1
+    assert cluster.shards[0].daemon is cluster.daemon
+    assert cluster.shards[0].pool is cluster.portus_pool
+    fleet = FleetClient(cluster)
+    assert fleet.ring.nodes == ["server"]
+
+    def scenario(env):
+        session = yield from fleet.register("acme", "resnet18")
+        session.model.update_step(1)
+        yield from session.checkpoint(1)
+        session.model.update_step(0)
+        return (yield from session.restore())
+
+    assert cluster.run(scenario) == 1
+
+
+# -- N x M topology -----------------------------------------------------------
+
+
+def test_fleet_spreads_tenants_and_restores_bit_exactly():
+    cluster = PaperCluster(seed=13, ampere_nodes=2, storage_nodes=3)
+    fleet = FleetClient(cluster)
+    tenants = generate_tenants(8, seed=3)
+    sessions = []
+
+    def setup(env):
+        for spec in tenants:
+            session = yield from fleet.register_spec(spec)
+            sessions.append((spec, session))
+
+    cluster.run(setup)
+    used = {shard for shard, keys in fleet.placements().items() if keys}
+    assert len(used) >= 2, f"8 tenants all landed on one shard: {used}"
+    # Quota accounting followed each registration to its home daemon.
+    for spec, session in sessions:
+        assert cluster.tenants.charged(spec.name) > 0
+
+    def work(env):
+        for step in (1, 2):
+            for spec, session in sessions:
+                session.model.update_step(step)
+                yield from session.checkpoint(step)
+
+    cluster.run(work)
+
+    def verify(env):
+        for spec, session in sessions:
+            session.model.update_step(0)
+            restored = yield from session.restore()
+            assert restored == 2, f"{spec.name} restored {restored}"
+            bad = [t.name for t in session.model.tensors
+                   if not t.content().equals(t.expected_content(2))]
+            assert bad == [], f"{spec.name} torn: {bad}"
+
+    cluster.run(verify)
+    for shard in cluster.shards:
+        assert fsck(shard.pool).clean
+
+
+# -- quota + bandwidth through the wire ---------------------------------------
+
+
+def test_daemon_rejects_register_over_byte_quota():
+    cluster = PaperCluster(seed=17, ampere_nodes=0)
+    # A/B buffering charges 2x the model, so one model fits and the
+    # second must bounce.
+    cluster.tenants.register_tenant("acme",
+                                    byte_quota=3 * SPECS_BYTES)
+
+    def scenario(env):
+        first = ModelInstance.materialize("m1", SPECS,
+                                          cluster.volta.gpus[0],
+                                          model_seed=1)
+        yield from cluster.portus_register(first, tenant="acme")
+        second = ModelInstance.materialize("m2", SPECS,
+                                           cluster.volta.gpus[0],
+                                           model_seed=2)
+        with pytest.raises(TenantQuotaExceeded):
+            yield from cluster.portus_register(second, tenant="acme")
+        return cluster.tenants.charged("acme")
+
+    assert cluster.run(scenario) == 2 * SPECS_BYTES
+    assert cluster.obs.metrics.value("fleet.quota.rejects.acme") == 1
+
+
+def test_rejected_register_leaks_no_pool_bytes():
+    cluster = PaperCluster(seed=19, ampere_nodes=0)
+    cluster.tenants.register_tenant("acme", byte_quota=1)
+
+    def scenario(env):
+        instance = ModelInstance.materialize("m1", SPECS,
+                                             cluster.volta.gpus[0],
+                                             model_seed=1)
+        with pytest.raises(TenantQuotaExceeded):
+            yield from cluster.portus_register(instance, tenant="acme")
+
+    cluster.run(scenario)
+    assert cluster.tenants.charged("acme") == 0
+    assert fsck(cluster.portus_pool).clean
+
+
+def test_bandwidth_throttle_delays_but_never_fails_checkpoints():
+    policy = RetryPolicy(rng=random.Random(23), max_attempts=12,
+                         deadline_ns=secs(8), reply_timeout_ns=msecs(8))
+    cluster = PaperCluster(seed=23, ampere_nodes=0, client_retry=policy)
+    # Budget: exactly one model's bytes per simulated second.
+    cluster.tenants.register_tenant("acme",
+                                    bandwidth_bps=SPECS_BYTES)
+
+    def scenario(env):
+        instance = ModelInstance.materialize("m1", SPECS,
+                                             cluster.volta.gpus[0],
+                                             model_seed=1)
+        session = yield from cluster.portus_register(instance,
+                                                     tenant="acme")
+        start = env.now
+        for step in (1, 2, 3):
+            instance.update_step(step)
+            yield from session.checkpoint(step)
+        return env.now - start
+
+    elapsed = cluster.run(scenario)
+    # Three checkpoints at one-checkpoint-per-second: the bucket must
+    # have stalled the burst for ~2 simulated seconds.
+    assert elapsed >= secs(1)
+    assert cluster.obs.metrics.value("fleet.bandwidth.rejects.acme") > 0
+
+
+def test_admission_backpressure_absorbs_a_thundering_herd():
+    policy = RetryPolicy(rng=random.Random(29), max_attempts=20,
+                         deadline_ns=secs(2), reply_timeout_ns=msecs(8))
+    cluster = PaperCluster(seed=29, ampere_nodes=1, client_retry=policy,
+                           admission=dict(max_ingests=1,
+                                          retry_after_ns=usecs(50)))
+
+    def scenario(env):
+        sessions = []
+        for i in range(4):
+            instance = ModelInstance.materialize(
+                f"m{i}", SPECS, cluster.volta.gpus[0], model_seed=i + 1)
+            sessions.append(
+                (yield from cluster.portus_register(instance)))
+
+        def one(session):
+            session.model.update_step(1)
+            yield from session.checkpoint(1)
+
+        procs = [env.process(one(s), name=f"herd{i}")
+                 for i, s in enumerate(sessions)]
+        for proc in procs:
+            yield proc
+        return [s.model.name for s in sessions]
+
+    assert len(cluster.run(scenario)) == 4
+    # With one ingest slot and four simultaneous pulls, somebody was
+    # turned away and came back.
+    assert cluster.obs.metrics.sum_counters(
+        "fleet.admission.rejects.") > 0
+    assert cluster.daemon.admission.inflight("ingest") == 0
+
+
+# -- migration ----------------------------------------------------------------
+
+
+def test_live_migration_moves_bytes_and_flips_the_ring():
+    cluster = PaperCluster(seed=31, ampere_nodes=1, storage_nodes=2)
+    fleet = FleetClient(cluster)
+
+    def setup(env):
+        return (yield from fleet.register("acme", "resnet18"))
+
+    session = cluster.run(setup)
+    src = fleet.shard_of("acme", "resnet18")
+    dst = next(s for s in cluster.shards if s.name != src.name)
+
+    def work(env):
+        for step in (1, 2):
+            session.model.update_step(step)
+            yield from session.checkpoint(step)
+
+    cluster.run(work)
+
+    def migrate(env):
+        return (yield from fleet.migrate("acme", "resnet18", dst.name))
+
+    step, moved = cluster.run(migrate)
+    assert step == 2
+    assert moved > 0
+    assert fleet.shard_of("acme", "resnet18").name == dst.name
+    # The source daemon no longer knows the model; the session follows.
+    assert src.daemon.model_map.get("resnet18") is None
+    assert session.client.daemon is dst.daemon
+
+    def after(env):
+        # The next checkpoint lands on the destination daemon...
+        session.model.update_step(3)
+        yield from session.checkpoint(3)
+        # ... and restore round-trips from the destination pool.
+        session.model.update_step(0)
+        return (yield from session.restore())
+
+    assert cluster.run(after) == 3
+    bad = [t.name for t in session.model.tensors
+           if not t.content().equals(t.expected_content(3))]
+    assert bad == []
+    for shard in cluster.shards:
+        assert fsck(shard.pool).clean
+    assert cluster.obs.metrics.value(
+        f"fleet.migrations.{src.name}->{dst.name}") == 1
+
+
+def test_migrating_to_the_home_shard_is_an_error():
+    cluster = PaperCluster(seed=37, ampere_nodes=0, storage_nodes=2)
+    fleet = FleetClient(cluster)
+
+    def setup(env):
+        yield from fleet.register("acme", "resnet18")
+
+    cluster.run(setup)
+    home = fleet.shard_of("acme", "resnet18")
+
+    def migrate(env):
+        yield from fleet.migrate("acme", "resnet18", home.name)
+
+    with pytest.raises(ReproError):
+        cluster.run(migrate)
+
+
+def test_migration_refuses_dedup_models():
+    cluster = PaperCluster(seed=41, ampere_nodes=0, storage_nodes=2)
+    fleet = FleetClient(cluster)
+
+    def setup(env):
+        session = yield from fleet.register("acme", "resnet18",
+                                            dedup=True)
+        session.model.update_step(1)
+        yield from session.checkpoint(1)
+
+    cluster.run(setup)
+    src = fleet.shard_of("acme", "resnet18")
+    dst = next(s for s in cluster.shards if s.name != src.name)
+
+    def migrate(env):
+        yield from fleet.migrate("acme", "resnet18", dst.name)
+
+    with pytest.raises(ReproError, match="pool-local"):
+        cluster.run(migrate)
+
+
+# -- ring/cluster wiring ------------------------------------------------------
+
+
+def test_fleet_client_ring_matches_cluster_shards():
+    cluster = PaperCluster(seed=43, ampere_nodes=0, storage_nodes=4)
+    fleet = FleetClient(cluster)
+    assert fleet.ring.nodes == ["server", "server1", "server2",
+                                "server3"]
+    ring = PlacementRing(fleet.ring.nodes)
+    for spec in generate_tenants(20, seed=5):
+        assert (fleet.shard_of(spec.name, spec.instance_name).name
+                == ring.lookup(spec.name, spec.instance_name))
