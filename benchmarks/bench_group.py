@@ -1,0 +1,195 @@
+"""Parallel-group dump vs serial member dumps: what the group buys.
+
+A TP x PP group dumps all member shards concurrently and makes the
+step visible with one two-phase commit record; the baseline dumps the
+same members one after another and then commits the same record (same
+final visibility, serialized data path).  Two regimes, measured
+separately because they answer different questions:
+
+* **latency-bound** — 16 small shards, several steps.  Per-member
+  control-plane round trips (begin/pull/commit) dominate, and the
+  group's concurrent pulls collapse them: this is the regime where a
+  wide-TP model checkpointing frequently lives, and where the speedup
+  acceptance bar applies (>= 1.5x).
+* **bandwidth-bound** — a GPT-1.5B sharded 8x2 across two client
+  nodes.  The storage server's ingest bandwidth is the bottleneck for
+  any dump strategy, so the honest claim is not a speedup but a
+  non-regression: the group dump's aggregate bandwidth must not fall
+  below the serial baseline's (the two-phase commit adds one record
+  write per *group*, not per member — its cost must be invisible).
+
+Recorded into ``BENCH_group.json`` at the repo root; the full-size run
+guards the latency-regime speedup against an >20% regression vs the
+committed value.  ``CI_FAST=1`` shrinks both regimes and skips the
+guard and the JSON rewrite.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.group import register_group
+from repro.dnn.gpt import GPT_CONFIGS, shard_gpt, tiny_gpt
+from repro.dnn.layout import gpt_layout
+from repro.dnn.tensor import ModelInstance
+from repro.harness.cluster import PaperCluster
+from repro.harness.report import render_table
+from repro.units import fmt_bytes, fmt_time
+
+from conftest import run_once
+
+BENCH_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          os.pardir, "BENCH_group.json")
+
+#: Full-size: the latency regime at the example's 16-way topology, the
+#: bandwidth regime on a real zoo model.
+FULL = {
+    "latency": dict(config="tiny", tp=8, pp=2, steps=5),
+    "bandwidth": dict(config="gpt-1.5b", tp=8, pp=2, steps=1),
+}
+#: CI_FAST: same shape, smaller degrees / payloads.
+SMALL = {
+    "latency": dict(config="tiny", tp=4, pp=2, steps=3),
+    "bandwidth": dict(config="bench-small", tp=4, pp=2, steps=1),
+}
+
+
+def _config(name):
+    if name == "tiny":
+        return tiny_gpt()
+    if name == "bench-small":
+        return tiny_gpt(name="bench-small", hidden=512, layers=12,
+                        heads=8, seq_length=512, vocab_size=32000)
+    return GPT_CONFIGS[name]
+
+
+def _run(config, tp, pp, steps, grouped, seed=600):
+    """One lifecycle; returns ``(dump_ns_total, total_bytes)``."""
+    cluster = PaperCluster(seed=seed, ampere_nodes=2)
+    shards = shard_gpt(config, tensor_parallel=tp, pipeline_parallel=pp)
+    layout = gpt_layout(config, tp, pp)
+
+    def scenario(env):
+        clients = {}
+
+        def client_of(node):
+            if node.name not in clients:
+                clients[node.name] = cluster.portus_client(node)
+            return clients[node.name]
+
+        instances, sessions = [], []
+        for index, shard in enumerate(shards):
+            node = cluster.amperes[index // 8 % 2]
+            instance = ModelInstance.materialize(
+                shard.name, shard.tensors, node.gpus[index % 8],
+                model_seed=index)
+            session = yield from client_of(node).register(instance)
+            instances.append(instance)
+            sessions.append(session)
+        group = yield from register_group(
+            client_of(cluster.amperes[0]), config.name, layout, sessions)
+        start = env.now
+        for step in range(1, steps + 1):
+            for instance in instances:
+                instance.update_step(step)
+            if grouped:
+                yield from group.dump(step)
+            else:
+                # Same end state as the group dump — every member DONE
+                # and the commit record at *step* — via serialized pulls.
+                for session in sessions:
+                    yield from session.checkpoint(step)
+                yield from group._commit(step)
+        elapsed = env.now - start
+        info = yield from group.query()
+        assert info["step"] == steps
+        return elapsed, sum(i.total_bytes for i in instances) * steps
+
+    return cluster.run(scenario)
+
+
+def _measure_regime(spec):
+    config = _config(spec["config"])
+    group_ns, total = _run(config, spec["tp"], spec["pp"],
+                           spec["steps"], grouped=True)
+    serial_ns, _ = _run(config, spec["tp"], spec["pp"], spec["steps"],
+                        grouped=False)
+    return {
+        "config": config.name,
+        "members": spec["tp"] * spec["pp"],
+        "steps": spec["steps"],
+        "total_bytes": total,
+        "group_dump_ns": group_ns,
+        "serial_dump_ns": serial_ns,
+        "speedup": round(serial_ns / group_ns, 2),
+        "group_gbps": round(total / (group_ns / 1e9) / 1e9, 2),
+        "serial_gbps": round(total / (serial_ns / 1e9) / 1e9, 2),
+    }
+
+
+def _measure(cfg):
+    latency = _measure_regime(cfg["latency"])
+    bandwidth = _measure_regime(cfg["bandwidth"])
+    return {"latency_bound": latency, "bandwidth_bound": bandwidth,
+            "speedup": latency["speedup"]}
+
+
+def _print_results(results):
+    rows = [
+        [regime, run["config"], run["members"],
+         fmt_bytes(run["total_bytes"]), fmt_time(run["group_dump_ns"]),
+         fmt_time(run["serial_dump_ns"]), f"{run['speedup']}x"]
+        for regime, run in (("latency-bound", results["latency_bound"]),
+                            ("bandwidth-bound",
+                             results["bandwidth_bound"]))
+    ]
+    print(render_table(
+        f"Group dump vs serial member dumps: "
+        f"{results['speedup']}x where commit latency dominates",
+        ["regime", "model", "members", "bytes", "group", "serial",
+         "speedup"], rows))
+
+
+def _check_structure(results, full):
+    latency = results["latency_bound"]
+    bandwidth = results["bandwidth_bound"]
+    # The concurrency claim, where it honestly applies...
+    assert latency["speedup"] >= (1.5 if full else 1.0), \
+        f"group dump only {latency['speedup']}x vs serial"
+    # ... and the no-penalty claim where it doesn't: the group's extra
+    # commit machinery must not cost measurable ingest bandwidth.
+    assert bandwidth["group_gbps"] >= 0.9 * bandwidth["serial_gbps"], \
+        (f"group dump bandwidth regressed: {bandwidth['group_gbps']} "
+         f"vs serial {bandwidth['serial_gbps']} GB/s")
+
+
+def test_group_dump_speedup(benchmark, shared_results):
+    fast = os.environ.get("CI_FAST", "0") != "0"
+    cfg = SMALL if fast else FULL
+    results = run_once(benchmark, "group_dump",
+                       lambda: _measure(cfg), shared_results)
+    _print_results(results)
+    _check_structure(results, full=not fast)
+    if fast:
+        return  # no guard, no JSON rewrite
+
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as fh:
+            committed = json.load(fh)
+        floor = committed["speedup"] * 0.8
+        assert results["speedup"] >= floor, (
+            f"group dump regressed: {results['speedup']}x < 80% of "
+            f"committed {committed['speedup']}x")
+
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+@pytest.mark.bench_smoke
+def test_smoke_group_dump_beats_serial():
+    """CI_FAST-sized structure check without the benchmark fixture."""
+    results = _measure(SMALL)
+    _print_results(results)
+    _check_structure(results, full=False)

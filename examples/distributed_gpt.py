@@ -2,95 +2,116 @@
 """Distributed large-model checkpointing: GPT-8.3B on 16 GPUs.
 
 Shards a Megatron-style GPT (tensor parallel 8 x pipeline parallel 2)
-across the two Client-Ampere nodes, checkpoints all 16 shards
-concurrently through one Portus daemon, power-fails the storage server
-mid-checkpoint, then recovers: the daemon rebuilds its index from PMem
-and every shard restores the last *completed* checkpoint bit-exactly —
-the double-mapping guarantee.
+across the two Client-Ampere nodes and registers the 16 shards as one
+*parallel group*: the sharded layout is persisted next to the data, the
+shards dump concurrently, and a step only becomes visible once a single
+group-commit record lands in PMem after every shard is DONE.
+
+The scenario then power-fails the storage server mid-way through the
+step-20 group dump.  Before groups, this was exactly the torn-restore
+bug: some shards recovered step 20, others step 10, and per-shard
+restore silently reassembled a model that never existed.  With the
+group commit, restore pins every shard to the newest *fully committed*
+step — all 16 shards come back at step 10, bit-exactly.
 
 Run:  python examples/distributed_gpt.py
 """
 
-from repro.core import protocol
+from repro.core.group import register_group
 from repro.dnn.gpt import GPT_CONFIGS, shard_gpt
+from repro.dnn.layout import gpt_layout
 from repro.dnn.tensor import ModelInstance
-from repro.sim import AllOf
+from repro.errors import ReproError
 from repro.harness.cluster import PaperCluster
 from repro.units import fmt_bytes, fmt_time
+
+TP, PP = 8, 2
 
 
 def main() -> None:
     cluster = PaperCluster(seed=7)
     config = GPT_CONFIGS["gpt-8.3b"]
-    shards = shard_gpt(config, tensor_parallel=8, pipeline_parallel=2)
+    shards = shard_gpt(config, tensor_parallel=TP, pipeline_parallel=PP)
+    layout = gpt_layout(config, TP, PP)
     print(f"{config.name}: {config.param_count() / 1e9:.2f}B parameters, "
           f"{len(shards)} shards across 2 nodes x 8 A40s")
 
-    state = {"instances": [], "sessions": []}
-
-    def setup_and_checkpoint(env):
-        # Materialize each shard on its GPU and register it; each MIndex
-        # maps to one model shard, exactly as the paper describes.
+    def register_shards(env, client_of):
+        """Materialize + register every shard; returns the sessions."""
+        instances, sessions = [], []
         for index, shard in enumerate(shards):
             node = cluster.amperes[index // 8]
             instance = ModelInstance.materialize(
                 shard.name, shard.tensors, node.gpus[index % 8],
                 model_seed=index)
-            session = yield from cluster.portus_register(instance,
-                                                         node=node)
-            state["instances"].append(instance)
-            state["sessions"].append(session)
+            session = yield from client_of(node).register(instance)
+            instances.append(instance)
+            sessions.append(session)
+        return instances, sessions
 
-        # Checkpoint step 10 on all shards concurrently.
-        for instance in state["instances"]:
+    def scenario(env):
+        clients = {}
+
+        def client_of(node):
+            if node.name not in clients:
+                clients[node.name] = cluster.portus_client(node)
+            return clients[node.name]
+
+        instances, sessions = yield from register_shards(env, client_of)
+        group = yield from register_group(client_of(cluster.amperes[0]),
+                                          config.name, layout, sessions)
+        print(f"group {group.name!r}: {len(group.members)} members, "
+              f"layout tp={layout.tp} pp={layout.pp}")
+
+        # Group dump at step 10: all shards pull concurrently, then one
+        # commit record makes the step visible.
+        for instance in instances:
             instance.update_step(10)
         start = env.now
-        pulls = [env.process(session.checkpoint(10))
-                 for session in state["sessions"]]
-        yield AllOf(env, pulls)
-        total = sum(i.total_bytes for i in state["instances"])
-        print(f"checkpoint @step 10: {fmt_bytes(total)} in "
+        yield from group.dump(10)
+        total = sum(i.total_bytes for i in instances)
+        print(f"group dump @step 10: {fmt_bytes(total)} in "
               f"{fmt_time(env.now - start)} "
               f"({total / ((env.now - start) / 1e9) / 1e9:.2f} GB/s "
               "aggregate)")
 
-        # Start a second checkpoint (step 20) but crash mid-pull.
-        for instance in state["instances"]:
+        # Start the step-20 group dump, then power-fail the storage
+        # server 200 ms into a multi-second pull.
+        for instance in instances:
             instance.update_step(20)
-        for session in state["sessions"]:
-            message, size = protocol.do_checkpoint(session.model.name, 20)
-            yield from session.conn.send(message, wire_size=size)
-        yield env.timeout(int(0.2e9))  # 200 ms into a multi-second pull
+        dump = env.process(group.dump(20), name="group-dump-20")
+        yield env.timeout(int(0.2e9))
+        print("power failure on the storage server mid-group-dump ...")
+        cluster.crash_server()
+        try:
+            yield dump
+            raise AssertionError("step-20 dump survived the power cut")
+        except ReproError as exc:
+            print(f"step-20 group dump torn: {type(exc).__name__}")
 
-    cluster.run(setup_and_checkpoint)
-    print("power failure on the storage server mid-checkpoint ...")
-    cluster.crash_server()
-    cluster.restart_daemon()
-    print(f"daemon recovered {len(cluster.daemon.models())} shard indexes "
-          "from PMem")
+        cluster.restart_daemon()
+        print(f"daemon recovered {len(cluster.daemon.models())} shard "
+              f"indexes from PMem")
 
-    def restore_all(env):
-        steps = []
+        # Recover: fresh sessions, re-bind the group, one group restore.
+        clients.clear()
+        instances, sessions = yield from register_shards(env, client_of)
+        group = yield from register_group(client_of(cluster.amperes[0]),
+                                          config.name, layout, sessions)
+        step = yield from group.restore()
+        steps = {instance.step for instance in instances}
+        assert steps == {step}, f"torn group surfaced: steps {steps}"
         mismatches = 0
-        client_cache = {}
-        for index, instance in enumerate(state["instances"]):
-            node = cluster.amperes[index // 8]
-            client = client_cache.get(node.name)
-            if client is None:
-                client = cluster.portus_client(node)
-                client_cache[node.name] = client
-            session = yield from client.register(instance)
-            step = yield from session.restore()
-            steps.append(step)
+        for instance in instances:
             contents = {t.name: t.content() for t in instance.tensors}
             mismatches += len(instance.verify_against(contents, step=step))
-        return steps, mismatches
+        return step, len(instances), mismatches
 
-    steps, mismatches = cluster.run(restore_all)
-    assert set(steps) == {10}, steps
-    print(f"all {len(steps)} shards restored step 10 "
-          f"({'bit-exact' if mismatches == 0 else f'{mismatches} MISMATCHES'})"
-          " — the interrupted step-20 checkpoint was correctly ignored")
+    step, count, mismatches = cluster.run(scenario)
+    assert step == 10, step
+    quality = "bit-exact" if mismatches == 0 else f"{mismatches} MISMATCHES"
+    print(f"all {count} shards restored the same committed step {step} "
+          f"({quality}) — the torn step-20 dump was correctly ignored")
 
 
 if __name__ == "__main__":

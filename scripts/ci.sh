@@ -12,9 +12,11 @@
 #      which guards against a >20% speedup regression vs the committed
 #      BENCH_sim.json, the dedup bench, which guards the Fig. 14
 #      trace's bytes-moved reduction vs the committed BENCH_dedup.json,
-#      and the fleet bench, which guards the 96-tenant open loop's p99
-#      improvement vs the committed BENCH_fleet.json
-#      (CI_FAST runs all three at reduced scale, no guard);
+#      the fleet bench, which guards the 96-tenant open loop's p99
+#      improvement vs the committed BENCH_fleet.json, and the group
+#      bench, which guards the parallel-group dump speedup vs the
+#      committed BENCH_group.json
+#      (CI_FAST runs all four at reduced scale, no guard);
 #   3. trace smoke: a traced benchmark run must emit loadable Chrome
 #      trace_event JSON + a metrics snapshot at zero simulated-time
 #      cost (the observability layer's contract);
@@ -85,6 +87,10 @@ PYTHONPATH=src python -m pytest \
 step "fleet bench (p99-improvement regression guard vs BENCH_fleet.json)"
 PYTHONPATH=src python -m pytest \
     "benchmarks/bench_fleet.py::test_fleet_open_loop" -q
+
+step "group bench (dump-speedup regression guard vs BENCH_group.json)"
+PYTHONPATH=src python -m pytest \
+    "benchmarks/bench_group.py::test_group_dump_speedup" -q
 
 step "traced-run smoke (Chrome trace + metrics, zero-cost)"
 TRACE_DIR="$(mktemp -d)"

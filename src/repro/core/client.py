@@ -369,14 +369,19 @@ class ModelSession:
             self.model.clear_dirty()
         return reply
 
-    def restore(self) -> Generator:
+    def restore(self, step: Optional[int] = None) -> Generator:
         """Process: pull the newest valid checkpoint into the model.
+
+        With *step* the restore is pinned to that exact committed step
+        (group restores pin every member to the group's committed step,
+        which is what keeps a torn dump from surfacing as a mixed-step
+        model); ``None`` keeps the newest-DONE behaviour.
 
         Returns the restored step; the model's tensors now physically
         hold the checkpointed bytes (the daemon RDMA-wrote them).
         """
         reply = yield from self._call(
-            lambda: protocol.do_restore(self.model.name),
+            lambda: protocol.do_restore(self.model.name, step=step),
             protocol.OP_RESTORE_DONE)
         step = reply["step"]
         self.model.step = step

@@ -83,6 +83,28 @@ def valid_checkpoint(meta: ModelMeta) -> Tuple[int, int]:
     return newest, flags.steps[newest]
 
 
+def checkpoint_at_step(meta: ModelMeta, step: int) -> int:
+    """The version index holding a DONE checkpoint at exactly *step*.
+
+    Group restores pin every member to the group's committed step; the
+    double-slot target rule (never overwrite the newest DONE slot)
+    guarantees each member still holds that step as long as no later
+    group commit landed.  Raises :class:`NoValidCheckpoint` when neither
+    slot is DONE at *step*.
+    """
+    flags = meta.read_flags()
+    best = None
+    for version in range(len(flags.states)):
+        if (flags.states[version] == FLAG_DONE
+                and flags.steps[version] == step):
+            best = version
+    if best is None:
+        raise NoValidCheckpoint(
+            f"{meta.mindex.model_name}: no completed checkpoint at step "
+            f"{step} (flags: {flags!r})")
+    return best
+
+
 def checkpoint_states(meta: ModelMeta) -> VersionFlags:
     """Raw flags, for Portusctl's view and the repacking tool."""
     return meta.read_flags()

@@ -51,17 +51,21 @@ from typing import Dict, Generator, List, Optional
 
 from repro.core import protocol
 from repro.core.consistency import (abort_checkpoint, begin_checkpoint,
-                                    commit_checkpoint, valid_checkpoint)
+                                    checkpoint_at_step, commit_checkpoint,
+                                    valid_checkpoint)
 from repro.core.dedup import chunk_spans
 from repro.core.engine import (ENGINE_CHUNK_BYTES, IngestLimiter,
                                LocalCopyEngine, TransferEngine, WorkItem)
+from repro.core.group import GroupStore
 from repro.core.index import (FLAG_DONE, ModelMeta, ModelTable,
                               region_extent)
 from repro.core.modelmap import ModelMap
+from repro.dnn.layout import ShardedLayout
 from repro.dnn.tensor import TensorSpec
 from repro.dnn.dtypes import DType
 from repro.errors import (CheckpointInProgress, ConnectionClosed,
-                          ModelNotFound, NotAttached, PortusError,
+                          GroupCommitRefused, ModelNotFound,
+                          NoValidCheckpoint, NotAttached, PortusError,
                           ProcessInterrupted, ProtocolError, ReproError,
                           RequestTimeout)
 from repro.hw.node import CpuSet, StorageNode
@@ -183,6 +187,8 @@ class PortusDaemon:
             if max_pmem_streams is not None else None)
         self.model_map = ModelMap()
         self.table = self._open_or_create_table()
+        #: Parallel-group registry (group-commit records on this pool).
+        self.groups = GroupStore.open_or_create(self.pool)
         self.ledger = CostLedger()
         self.checkpoints_completed = 0
         self.restores_completed = 0
@@ -313,6 +319,9 @@ class PortusDaemon:
             protocol.OP_UNREGISTER: self._handle_unregister,
             protocol.OP_LIST: self._handle_list,
             protocol.OP_HEARTBEAT: self._handle_heartbeat,
+            protocol.OP_GROUP_REGISTER: self._handle_group_register,
+            protocol.OP_GROUP_COMMIT: self._handle_group_commit,
+            protocol.OP_GROUP_QUERY: self._handle_group_query,
         }
         handler = handlers.get(op)
         trace_id = protocol.trace_of(message)
@@ -903,6 +912,16 @@ class PortusDaemon:
 
     # -- DO_RESTORE -----------------------------------------------------------------------
 
+    @staticmethod
+    def _restore_version(entry: ModelEntry, message: Dict):
+        """The version a restore should push: newest DONE by default, or
+        the DONE slot at the exact pinned ``step`` (group restores pin
+        every member to the committed group step)."""
+        pinned = message.get("step")
+        if pinned is None:
+            return valid_checkpoint(entry.meta)
+        return checkpoint_at_step(entry.meta, pinned), pinned
+
     def _handle_restore(self, message: Dict) -> Generator:
         name = message["model"]
         entry = self._entry(name)
@@ -915,7 +934,7 @@ class PortusDaemon:
         trace_id = protocol.trace_of(message)
         started = self.env.now
         try:
-            version, step = valid_checkpoint(entry.meta)
+            version, step = self._restore_version(entry, message)
             region_mr = entry.version_mrs[version]
             pairs = list(zip(entry.meta.mindex.descriptors,
                              entry.client_tensors))
@@ -967,7 +986,7 @@ class PortusDaemon:
             if store is None:
                 raise PortusError(
                     f"{name}: dedup model but the pool has no chunk store")
-            version, step = valid_checkpoint(entry.meta)
+            version, step = self._restore_version(entry, message)
             manifest = entry.meta.read_manifest(version)
             spans = self._dedup_spans(entry)
             if len(manifest) != len(spans):
@@ -1058,6 +1077,81 @@ class PortusDaemon:
             self._release(entry)
         return protocol.reply(protocol.OP_UNREGISTERED, model=name)
         yield  # pragma: no cover - keeps this a generator
+
+    # -- GROUPS ------------------------------------------------------------------------------
+
+    def _handle_group_register(self, message: Dict) -> Generator:
+        """Bind registered member models into one named group.
+
+        The layout is validated (every member must already exist in the
+        index) and persisted in the group's commit record at committed
+        step 0; re-registering with the identical layout attaches (the
+        restart path), a different layout is refused.
+        """
+        name = message["group"]
+        blob = bytes(message["layout"])
+        layout = ShardedLayout.unpack(blob)
+        for member in layout.members:
+            if self.model_map.get(member) is None:
+                raise ModelNotFound(
+                    f"group {name!r} member {member!r} is not registered")
+        record = self.groups.register(name, blob)
+        self._count("group_registers")
+        return protocol.reply(protocol.OP_GROUP_REGISTERED, group=name,
+                              step=record.committed_step,
+                              members=len(layout.members))
+        yield  # pragma: no cover - generator protocol
+
+    def _handle_group_commit(self, message: Dict) -> Generator:
+        """Phase two of a group dump: make *step* visible atomically.
+
+        Refused (typed, nothing written) unless EVERY member holds a
+        DONE slot at exactly *step* — the record must never name a step
+        a pinned restore cannot serve.  The commit itself is one A/B
+        record write; the explicit ``group.ack`` crash hook after it
+        covers the persisted-but-unacked window in the crash sweep.
+        """
+        name = message["group"]
+        step = message["step"]
+        record = self.groups.lookup(name)
+        for member in record.layout().members:
+            entry = self.model_map.get(member)
+            if entry is None:
+                raise GroupCommitRefused(
+                    f"group {name!r}: member {member!r} vanished from "
+                    f"the index")
+            try:
+                checkpoint_at_step(entry.meta, step)
+            except NoValidCheckpoint:
+                raise GroupCommitRefused(
+                    f"group {name!r}: member {member!r} has no DONE "
+                    f"checkpoint at step {step}") from None
+        if step < record.committed_step:
+            raise GroupCommitRefused(
+                f"group {name!r}: commit of step {step} behind committed "
+                f"step {record.committed_step}")
+        if step > record.committed_step:
+            record.commit(step)
+            hook = self.pool.device.crash_hook
+            if hook is not None:
+                # Crash point: the commit record persisted but the ack
+                # never reached the client.
+                hook("group.ack", record.allocation.tag)
+        self._count("group_commits")
+        return protocol.reply(protocol.OP_GROUP_COMMITTED, group=name,
+                              step=record.committed_step)
+        yield  # pragma: no cover - generator protocol
+
+    def _handle_group_query(self, message: Dict) -> Generator:
+        """The group's committed step + persisted layout blob (sized
+        like the registration packet: the blob rides the reply)."""
+        name = message["group"]
+        record = self.groups.lookup(name)
+        reply = {"op": protocol.OP_GROUP_INFO, "group": name,
+                 "step": record.committed_step,
+                 "layout": record.layout_blob}
+        return reply, 64 + len(record.layout_blob)
+        yield  # pragma: no cover - generator protocol
 
     # -- HEARTBEAT ---------------------------------------------------------------------------
 

@@ -646,6 +646,9 @@ class ModelTable:
 
     _ENTRY = struct.Struct("<64sQ")
     _HEADER = struct.Struct("<II")  # max_models, count
+    #: AllocTable tag of the table's region — subclasses (the group
+    #: table) override it to coexist on the same pool.
+    TAG = TABLE_TAG
 
     def __init__(self, record: CommittedRecord, max_models: int) -> None:
         self._record = record
@@ -659,7 +662,7 @@ class ModelTable:
 
     @classmethod
     def create(cls, pool: PmemPool, max_models: int = 512) -> "ModelTable":
-        region = pool.alloc(2 * cls.slot_size(max_models), tag=TABLE_TAG)
+        region = pool.alloc(2 * cls.slot_size(max_models), tag=cls.TAG)
         table = cls(CommittedRecord(region, 0, cls.slot_size(max_models)),
                     max_models)
         table._commit()
@@ -674,25 +677,25 @@ class ModelTable:
         (a mismatch raises :class:`PmemError`); by default the stored
         geometry is simply used.
         """
-        regions = pool.find_by_tag(TABLE_TAG)
+        regions = pool.find_by_tag(cls.TAG)
         if not regions:
-            raise PmemError("no Portus ModelTable on this pool")
+            raise PmemError(f"no Portus {cls.__name__} on this pool")
         slot = regions[0].size // 2
         record = CommittedRecord(regions[0], 0, slot)
         committed = record.read()
         if committed is None:
             raise PmemError(
-                f"ModelTable record unreadable at {regions[0].addr:#x}")
+                f"{cls.__name__} record unreadable at {regions[0].addr:#x}")
         payload = committed[0]
         stored_max, count = cls._HEADER.unpack_from(payload)
         if cls.slot_size(stored_max) != slot:
             raise PmemError(
-                f"ModelTable geometry mismatch: region slot is {slot} "
+                f"{cls.__name__} geometry mismatch: region slot is {slot} "
                 f"bytes but stored max_models={stored_max} implies "
                 f"{cls.slot_size(stored_max)}")
         if max_models is not None and max_models != stored_max:
             raise PmemError(
-                f"ModelTable was created with max_models={stored_max}, "
+                f"{cls.__name__} was created with max_models={stored_max}, "
                 f"refusing to open with max_models={max_models}")
         table = cls(record, stored_max)
         for i in range(count):
@@ -711,7 +714,8 @@ class ModelTable:
     def insert(self, name: str, meta_addr: int) -> None:
         if len(self._entries) >= self.max_models and \
                 name not in self._entries:
-            raise PmemError(f"ModelTable full ({self.max_models} models)")
+            raise PmemError(
+                f"{type(self).__name__} full ({self.max_models} entries)")
         self._entries[name] = meta_addr
         self._commit()
 

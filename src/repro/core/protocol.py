@@ -23,6 +23,12 @@ OP_LIST = "LIST"
 OP_LIST_REPLY = "LIST_REPLY"
 OP_HEARTBEAT = "HEARTBEAT"
 OP_HEARTBEAT_ACK = "HEARTBEAT_ACK"
+OP_GROUP_REGISTER = "GROUP_REGISTER"
+OP_GROUP_REGISTERED = "GROUP_REGISTERED"
+OP_GROUP_COMMIT = "GROUP_COMMIT"
+OP_GROUP_COMMITTED = "GROUP_COMMITTED"
+OP_GROUP_QUERY = "GROUP_QUERY"
+OP_GROUP_INFO = "GROUP_INFO"
 OP_ERROR = "ERROR"
 
 _BASE_SIZE = 96
@@ -103,8 +109,39 @@ def do_checkpoint(model_name: str, step: int,
     return message, size
 
 
-def do_restore(model_name: str) -> Tuple[Dict[str, Any], int]:
-    return {"op": OP_DO_RESTORE, "model": model_name}, 64
+def do_restore(model_name: str,
+               step: int = None) -> Tuple[Dict[str, Any], int]:
+    """*step* pins the restore to an exact committed step (group
+    restores use this so every member returns the same step); ``None``
+    keeps the legacy newest-DONE behaviour."""
+    message = {"op": OP_DO_RESTORE, "model": model_name}
+    if step is not None:
+        message["step"] = step
+    return message, 64
+
+
+def group_register(group_name: str, layout_blob: bytes
+                   ) -> Tuple[Dict[str, Any], int]:
+    """Bind the already-registered member models into one named group.
+
+    *layout_blob* is the packed :class:`~repro.dnn.layout.ShardedLayout`
+    (degrees, member list, per-tensor partition specs) the daemon
+    persists in the group-commit record — the wire size scales with it,
+    like REGISTER scales with the tensor count."""
+    message = {"op": OP_GROUP_REGISTER, "group": group_name,
+               "layout": layout_blob}
+    return message, 64 + len(layout_blob)
+
+
+def group_commit(group_name: str, step: int) -> Tuple[Dict[str, Any], int]:
+    """Phase two of a group dump: every member pull is DONE at *step*;
+    make the step visible atomically (or not at all)."""
+    return {"op": OP_GROUP_COMMIT, "group": group_name, "step": step}, 64
+
+
+def group_query(group_name: str) -> Tuple[Dict[str, Any], int]:
+    """The group's committed step and persisted layout."""
+    return {"op": OP_GROUP_QUERY, "group": group_name}, 64
 
 
 def unregister(model_name: str) -> Tuple[Dict[str, Any], int]:

@@ -26,7 +26,8 @@ from repro.core.consistency import (abort_checkpoint, begin_checkpoint,
                                     commit_checkpoint, valid_checkpoint)
 from repro.core.engine import LocalCopyEngine
 from repro.core.index import ModelMeta, ModelTable
-from repro.errors import ModelAlreadyRegistered, ModelNotFound, PortusError
+from repro.errors import (DedupMigrationUnsupported, ModelAlreadyRegistered,
+                          ModelNotFound, PortusError)
 from repro.obs import Observability
 from repro.pmem.pool import PmemPool
 from repro.rdma.verbs import connect
@@ -216,9 +217,12 @@ def migrate_model(env: Environment, src_daemon, dst_daemon, name: str,
        copy (:func:`evict_model`) — a crash between 3 and 4 leaves two
        committed copies, never zero.
 
-    Returns ``(step, bytes_moved)``.  Dedup models are refused: their
-    bytes live in the pool-local chunk store and migrating them means
-    re-chunking on the destination (future work).
+    Returns ``(step, bytes_moved)``.  Dedup models are refused with
+    :class:`~repro.errors.DedupMigrationUnsupported`: their bytes live
+    in the pool-local chunk store, and migrating one means re-chunking
+    against the destination's store (future work).  Callers that place
+    groups must check *every* member up front — the same typed error,
+    before any member has moved.
     """
     from repro.core.daemon import (FLUSH_BARRIER_NS, ModelEntry,
                                    QP_DEPTH)
@@ -229,7 +233,7 @@ def migrate_model(env: Environment, src_daemon, dst_daemon, name: str,
     if entry is None:
         raise ModelNotFound(name)
     if entry.meta.dedup:
-        raise PortusError(
+        raise DedupMigrationUnsupported(
             f"{name}: dedup models cannot migrate (chunk store is "
             f"pool-local)")
     if dst_daemon.model_map.get(name) is not None:

@@ -75,6 +75,20 @@ GPT_CONFIGS: Dict[str, GptConfig] = {
 }
 
 
+def tiny_gpt(name: str = "gpt-tiny", hidden: int = 64, layers: int = 3,
+             heads: int = 8, seq_length: int = 32,
+             vocab_size: int = 64) -> GptConfig:
+    """A deliberately small config for tests and resharding checks.
+
+    Resharding proofs materialize whole global tensors to compare bytes,
+    so they need a model whose tensors fit comfortably in memory while
+    still exercising every partition kind (column, row, vocab-parallel,
+    replicated) at TP degrees up to 8.
+    """
+    return GptConfig(name, hidden=hidden, layers=layers, heads=heads,
+                     seq_length=seq_length, vocab_size=vocab_size)
+
+
 def _layer_specs(prefix: str, hidden: int, tp: int) -> List[TensorSpec]:
     """One transformer layer's tensors for a tensor-parallel rank."""
     specs: List[TensorSpec] = []

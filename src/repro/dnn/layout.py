@@ -1,0 +1,420 @@
+"""Sharded-layout descriptors and resharding algebra for model groups.
+
+A parallel-group checkpoint (DESIGN.md §14) persists, next to the shard
+bytes themselves, a :class:`ShardedLayout`: the TP/PP/DP degrees plus
+one :class:`PartitionSpec` per tensor per member describing exactly how
+that member's local tensor maps into the global (unsharded) tensor.
+With the layout on PMem, restore is no longer tied to the topology that
+dumped: :func:`assemble` reassembles any global tensor bit-exactly from
+its partitions, and :func:`extract` re-slices it for a *different*
+TP/PP degree — ByteCheckpoint-style automatic resharding.
+
+Partition kinds (all Megatron uses, and all this module supports):
+
+* **replicated** (``axis=None``) — every tensor-parallel rank holds the
+  full tensor (layer norms, row-parallel biases, position embeddings);
+* **axis 0** (column-parallel) — the first dimension is split into
+  ``parts`` equal contiguous blocks; partition *part* is a contiguous
+  byte range of the row-major global tensor (QKV, fc1, vocab-parallel
+  embedding);
+* **axis 1** (row-parallel, 2-D only) — the second dimension is split;
+  partition *part* holds columns ``[part*C/parts, (part+1)*C/parts)``
+  of every row, so global row *r* is the concatenation of every
+  partition's row *r* (attention dense, fc2).
+
+The layout for a GPT group is **derived, never hand-written**:
+:func:`gpt_layout` shards the config with
+:func:`~repro.dnn.gpt.shard_gpt` and infers each partition by comparing
+local and global shapes, so the descriptor can never drift from the
+sharding code it describes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.dnn.dtypes import DType
+from repro.dnn.tensor import ModelInstance, Tensor, TensorSpec
+from repro.errors import ReproError
+from repro.hw.content import Content, concat
+
+LAYOUT_MAGIC = 0x53484C59  # "SHLY"
+LAYOUT_VERSION = 1
+
+_HEADER = struct.Struct("<IHHHHH")  # magic, version, tp, pp, dp, members
+_SPEC_FIXED = struct.Struct("<bHH")  # axis (-1 = replicated), part, parts
+
+
+class PartitionSpec:
+    """How one member's local tensor maps into the global tensor."""
+
+    __slots__ = ("name", "global_shape", "dtype", "axis", "part", "parts")
+
+    def __init__(self, name: str, global_shape: Tuple[int, ...],
+                 dtype: DType, axis: Optional[int], part: int,
+                 parts: int) -> None:
+        if axis is None and (part, parts) != (0, 1):
+            raise ReproError(
+                f"{name}: replicated spec must be part 0 of 1")
+        if axis is not None:
+            if axis not in (0, 1):
+                raise ReproError(f"{name}: unsupported shard axis {axis}")
+            if not 0 <= part < parts:
+                raise ReproError(
+                    f"{name}: part {part} out of range for {parts} parts")
+            if global_shape[axis] % parts:
+                raise ReproError(
+                    f"{name}: dim {global_shape[axis]} not divisible "
+                    f"into {parts} parts")
+            if axis == 1 and len(global_shape) != 2:
+                raise ReproError(
+                    f"{name}: axis-1 sharding needs a 2-D tensor, "
+                    f"got {global_shape}")
+        self.name = name
+        self.global_shape = tuple(int(d) for d in global_shape)
+        self.dtype = dtype
+        self.axis = axis
+        self.part = part
+        self.parts = parts
+
+    @property
+    def local_shape(self) -> Tuple[int, ...]:
+        if self.axis is None:
+            return self.global_shape
+        shape = list(self.global_shape)
+        shape[self.axis] //= self.parts
+        return tuple(shape)
+
+    @property
+    def local_size_bytes(self) -> int:
+        count = 1
+        for dim in self.local_shape:
+            count *= dim
+        return count * self.dtype.itemsize
+
+    @property
+    def global_size_bytes(self) -> int:
+        count = 1
+        for dim in self.global_shape:
+            count *= dim
+        return count * self.dtype.itemsize
+
+    def to_tensor_spec(self) -> TensorSpec:
+        """The local (on-device / on-PMem) shape of this partition."""
+        return TensorSpec(self.name, self.local_shape, self.dtype)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, PartitionSpec)
+                and other.name == self.name
+                and other.global_shape == self.global_shape
+                and other.dtype == self.dtype and other.axis == self.axis
+                and other.part == self.part and other.parts == self.parts)
+
+    def __repr__(self) -> str:
+        how = ("replicated" if self.axis is None
+               else f"axis{self.axis} {self.part}/{self.parts}")
+        return f"<PartitionSpec {self.name} {self.global_shape} {how}>"
+
+
+def derive_partition(full: TensorSpec, local: TensorSpec, part: int,
+                     parts: int) -> PartitionSpec:
+    """Infer the partition of *local* within *full* from the shapes.
+
+    Used to derive a layout from sharding code instead of duplicating
+    its rules; ambiguity is impossible for the supported kinds because
+    exactly one dimension may shrink.
+    """
+    if local.name != full.name or local.dtype != full.dtype:
+        raise ReproError(f"cannot relate {local!r} to {full!r}")
+    if local.shape == full.shape:
+        return PartitionSpec(full.name, full.shape, full.dtype,
+                             axis=None, part=0, parts=1)
+    if (len(local.shape) == len(full.shape)
+            and local.shape[0] * parts == full.shape[0]
+            and local.shape[1:] == full.shape[1:]):
+        return PartitionSpec(full.name, full.shape, full.dtype,
+                             axis=0, part=part, parts=parts)
+    if (len(full.shape) == 2 and len(local.shape) == 2
+            and local.shape[0] == full.shape[0]
+            and local.shape[1] * parts == full.shape[1]):
+        return PartitionSpec(full.name, full.shape, full.dtype,
+                             axis=1, part=part, parts=parts)
+    raise ReproError(
+        f"{full.name}: local shape {local.shape} is not a recognized "
+        f"{parts}-way partition of {full.shape}")
+
+
+class ShardedLayout:
+    """A group's persisted sharding descriptor: degrees + partition specs.
+
+    *members* is ordered pipeline-major then tensor rank (entry
+    ``p * tp + t``), matching :func:`~repro.dnn.gpt.shard_gpt`;
+    *partitions* maps each member model name to its ordered
+    :class:`PartitionSpec` list (registration order = MIndex order).
+    """
+
+    def __init__(self, tp: int, pp: int, members: List[str],
+                 partitions: Dict[str, List[PartitionSpec]],
+                 dp: int = 1) -> None:
+        if tp < 1 or pp < 1 or dp < 1:
+            raise ReproError(f"bad parallel degrees tp={tp} pp={pp} dp={dp}")
+        if len(members) != tp * pp:
+            raise ReproError(
+                f"{len(members)} members for tp={tp} x pp={pp}")
+        if set(members) != set(partitions):
+            raise ReproError("member list and partition map disagree")
+        self.tp = tp
+        self.pp = pp
+        self.dp = dp
+        self.members = list(members)
+        self.partitions = {name: list(specs)
+                           for name, specs in partitions.items()}
+
+    def global_specs(self) -> Dict[str, TensorSpec]:
+        """Every global tensor the group covers, by name."""
+        out: Dict[str, TensorSpec] = {}
+        for specs in self.partitions.values():
+            for spec in specs:
+                seen = out.get(spec.name)
+                if seen is None:
+                    out[spec.name] = TensorSpec(spec.name,
+                                                spec.global_shape,
+                                                spec.dtype)
+                elif seen.shape != spec.global_shape:
+                    raise ReproError(
+                        f"{spec.name}: members disagree on global shape "
+                        f"{seen.shape} vs {spec.global_shape}")
+        return out
+
+    def member_specs(self, member: str) -> List[TensorSpec]:
+        """The local TensorSpecs to register for *member*."""
+        return [spec.to_tensor_spec() for spec in self.partitions[member]]
+
+    def holders(self, name: str) -> List[Tuple[str, PartitionSpec]]:
+        """Every ``(member, spec)`` holding a partition of tensor *name*."""
+        found = []
+        for member in self.members:
+            for spec in self.partitions[member]:
+                if spec.name == name:
+                    found.append((member, spec))
+        return found
+
+    # -- wire / PMem encoding ---------------------------------------------
+
+    def pack(self) -> bytes:
+        parts = [_HEADER.pack(LAYOUT_MAGIC, LAYOUT_VERSION, self.tp,
+                              self.pp, self.dp, len(self.members))]
+        for member in self.members:
+            parts.append(_pack_str(member))
+            specs = self.partitions[member]
+            parts.append(struct.pack("<I", len(specs)))
+            for spec in specs:
+                parts.append(_pack_str(spec.name))
+                parts.append(_pack_str(spec.dtype.name))
+                parts.append(struct.pack("<B", len(spec.global_shape)))
+                parts.append(struct.pack(f"<{len(spec.global_shape)}I",
+                                         *spec.global_shape))
+                parts.append(_SPEC_FIXED.pack(
+                    -1 if spec.axis is None else spec.axis,
+                    spec.part, spec.parts))
+        return b"".join(parts)
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "ShardedLayout":
+        view = memoryview(blob)
+        magic, version, tp, pp, dp, count = _HEADER.unpack_from(view, 0)
+        if magic != LAYOUT_MAGIC:
+            raise ReproError(f"bad layout magic {magic:#x}")
+        if version != LAYOUT_VERSION:
+            raise ReproError(f"unsupported layout version {version}")
+        offset = _HEADER.size
+        members: List[str] = []
+        partitions: Dict[str, List[PartitionSpec]] = {}
+        for _ in range(count):
+            member, offset = _unpack_str(view, offset)
+            (spec_count,) = struct.unpack_from("<I", view, offset)
+            offset += 4
+            specs: List[PartitionSpec] = []
+            for _ in range(spec_count):
+                name, offset = _unpack_str(view, offset)
+                dtype_name, offset = _unpack_str(view, offset)
+                (ndims,) = struct.unpack_from("<B", view, offset)
+                offset += 1
+                shape = struct.unpack_from(f"<{ndims}I", view, offset)
+                offset += 4 * ndims
+                axis, part, parts = _SPEC_FIXED.unpack_from(view, offset)
+                offset += _SPEC_FIXED.size
+                specs.append(PartitionSpec(
+                    name, shape, DType.by_name(dtype_name),
+                    axis=None if axis < 0 else axis,
+                    part=part, parts=parts))
+            members.append(member)
+            partitions[member] = specs
+        return cls(tp, pp, members, partitions, dp=dp)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ShardedLayout)
+                and other.tp == self.tp and other.pp == self.pp
+                and other.dp == self.dp and other.members == self.members
+                and other.partitions == self.partitions)
+
+    def __repr__(self) -> str:
+        return (f"<ShardedLayout tp={self.tp} pp={self.pp} dp={self.dp} "
+                f"members={len(self.members)}>")
+
+
+def _pack_str(text: str) -> bytes:
+    encoded = text.encode("utf-8")
+    return struct.pack("<H", len(encoded)) + encoded
+
+
+def _unpack_str(view, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from("<H", view, offset)
+    offset += 2
+    return bytes(view[offset:offset + length]).decode("utf-8"), \
+        offset + length
+
+
+# -- GPT layouts ----------------------------------------------------------
+
+
+def gpt_layout(config, tensor_parallel: int, pipeline_parallel: int,
+               data_parallel: int = 1) -> ShardedLayout:
+    """Derive the :class:`ShardedLayout` for a Megatron GPT group.
+
+    Shards with :func:`~repro.dnn.gpt.shard_gpt` and infers every
+    partition from the shapes, so the descriptor stays in lockstep with
+    the sharding code by construction.
+    """
+    from repro.dnn.gpt import build_gpt, shard_gpt
+
+    full = {spec.name: spec for spec in build_gpt(config).tensors}
+    shards = shard_gpt(config, tensor_parallel, pipeline_parallel)
+    members = [shard.name for shard in shards]
+    partitions: Dict[str, List[PartitionSpec]] = {}
+    for index, shard in enumerate(shards):
+        rank = index % tensor_parallel
+        partitions[shard.name] = [
+            derive_partition(full[spec.name], spec, rank, tensor_parallel)
+            for spec in shard.tensors]
+    return ShardedLayout(tensor_parallel, pipeline_parallel, members,
+                         partitions, dp=data_parallel)
+
+
+# -- the resharding algebra -----------------------------------------------
+
+
+def extract(spec: PartitionSpec, full: Content) -> Content:
+    """The bytes of partition *spec* out of the global tensor content."""
+    if full.size != spec.global_size_bytes:
+        raise ReproError(
+            f"{spec.name}: global content is {full.size} bytes, "
+            f"layout says {spec.global_size_bytes}")
+    if spec.axis is None:
+        return full
+    if spec.axis == 0:
+        local = spec.local_size_bytes
+        return full.slice(spec.part * local, local)
+    # axis 1: column block [part*C/parts, (part+1)*C/parts) of each row.
+    rows, columns = spec.global_shape
+    row_bytes = columns * spec.dtype.itemsize
+    local_row = row_bytes // spec.parts
+    start = spec.part * local_row
+    return concat([full.slice(r * row_bytes + start, local_row)
+                   for r in range(rows)])
+
+
+def assemble(holders: Iterable[Tuple[PartitionSpec, Content]]) -> Content:
+    """Reassemble one global tensor bit-exactly from its partitions.
+
+    *holders* must cover every partition exactly once (replicated
+    tensors need any single holder); extra replicas are tolerated and
+    ignored.
+    """
+    by_part: Dict[int, Tuple[PartitionSpec, Content]] = {}
+    first: Optional[PartitionSpec] = None
+    for spec, content in holders:
+        if content.size != spec.local_size_bytes:
+            raise ReproError(
+                f"{spec.name}: partition {spec.part} content is "
+                f"{content.size} bytes, layout says "
+                f"{spec.local_size_bytes}")
+        if first is None:
+            first = spec
+        elif (spec.name != first.name or spec.axis != first.axis
+                or spec.parts != first.parts
+                or spec.global_shape != first.global_shape):
+            raise ReproError(
+                f"{spec.name}: inconsistent partitioning across holders")
+        by_part.setdefault(spec.part, (spec, content))
+    if first is None:
+        raise ReproError("no holders to assemble from")
+    if first.axis is None:
+        return by_part[0][1]
+    missing = [p for p in range(first.parts) if p not in by_part]
+    if missing:
+        raise ReproError(
+            f"{first.name}: missing partitions {missing} of "
+            f"{first.parts}")
+    ordered = [by_part[p][1] for p in range(first.parts)]
+    if first.axis == 0:
+        return concat(ordered)
+    # axis 1: global row r is every partition's row r, in part order.
+    rows = first.global_shape[0]
+    local_row = by_part[0][0].local_size_bytes // rows
+    return concat([content.slice(r * local_row, local_row)
+                   for r in range(rows)
+                   for content in ordered])
+
+
+def reshard(source: ShardedLayout,
+            contents: Dict[str, Dict[str, Content]],
+            target: ShardedLayout) -> Dict[str, Dict[str, Content]]:
+    """Re-slice a group checkpoint for a different TP/PP topology.
+
+    *contents* maps each source member to its tensors' restored bytes;
+    the result maps each target member to the bytes its partitions must
+    hold.  Both directions go through the assembled global tensor, so
+    the round trip is bit-exact by construction.
+    """
+    source_globals = source.global_specs()
+    target_globals = target.global_specs()
+    if set(source_globals) != set(target_globals):
+        raise ReproError(
+            f"layouts cover different tensors: "
+            f"{sorted(set(source_globals) ^ set(target_globals))[:4]}")
+    for name, spec in target_globals.items():
+        if source_globals[name].shape != spec.shape:
+            raise ReproError(
+                f"{name}: global shape {source_globals[name].shape} vs "
+                f"{spec.shape}")
+    assembled: Dict[str, Content] = {}
+    for name in source_globals:
+        assembled[name] = assemble(
+            (spec, contents[member][name])
+            for member, spec in source.holders(name))
+    out: Dict[str, Dict[str, Content]] = {}
+    for member in target.members:
+        out[member] = {spec.name: extract(spec, assembled[spec.name])
+                       for spec in target.partitions[member]}
+    return out
+
+
+def materialize_member(layout: ShardedLayout, member: str, device,
+                       contents: Dict[str, Content]) -> ModelInstance:
+    """A member :class:`ModelInstance` holding exactly *contents*.
+
+    Used by resharding restores (and their tests) to stage partition
+    bytes on a device: unlike :meth:`ModelInstance.materialize`, the
+    tensors carry the supplied bytes, not step-0 pattern content.
+    """
+    tensors = []
+    for spec in layout.partitions[member]:
+        allocation = device.alloc(spec.local_size_bytes,
+                                  tag=f"{member}/{spec.name}")
+        allocation.write(0, contents[spec.name])
+        tensors.append(Tensor(spec.to_tensor_spec(), allocation,
+                              model_seed=0))
+    instance = ModelInstance(member, tensors, model_seed=0)
+    return instance

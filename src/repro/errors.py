@@ -203,3 +203,50 @@ class TenantQuotaExceeded(PortusError):
 
     Permanent for the offending request: retrying without freeing
     capacity (or raising the quota) cannot succeed."""
+
+
+class GroupError(PortusError):
+    """Base class for parallel-group checkpoint failures (DESIGN.md §14)."""
+
+
+class GroupNotFound(GroupError):
+    """Lookup of a group name in the group table found nothing."""
+
+
+class GroupCommitRefused(GroupError):
+    """A group commit named a step some member has no DONE slot for.
+
+    The commit record was *not* written: the group stays at its previous
+    committed step, which every member still retains (the double-slot
+    target rule never overwrites the newest DONE version)."""
+
+
+class NoValidGroupCheckpoint(GroupError):
+    """The group has no fully committed step to restore (committed step
+    0, or a member cannot serve the committed step — a torn group fsck
+    has not yet repaired)."""
+
+
+class DedupMigrationUnsupported(PortusError):
+    """Migration was asked to move a deduplicated model (or a group with
+    any dedup member) across pools.
+
+    Permanent by design, not a transient failure: a dedup model's bytes
+    live in the source pool's shared refcounted chunk store, and moving
+    them would either strand cross-tenant sharing or require a
+    chunk-store merge protocol that does not exist.  Callers must either
+    re-register the model on the destination or keep it where it is."""
+
+
+class MigrationIncomplete(PortusError):
+    """A migration failed *after* its commit point (the ring flip).
+
+    The destination copy is committed and the ring routes to it — the
+    move itself succeeded and must not be unwound.  What remains is
+    leaked, not lost: possibly an un-evicted source copy and a session
+    still rebinding.  ``leaked`` names what cleanup (re-running the
+    eviction, re-attaching the session) still owes."""
+
+    def __init__(self, message: str, leaked: tuple = ()) -> None:
+        super().__init__(message)
+        self.leaked = tuple(leaked)

@@ -75,6 +75,13 @@ K_MANIFEST_CHUNK_MISSING = "manifest-chunk-missing"
 K_CHUNK_BACKING_MISSING = "chunk-backing-missing"
 K_CHUNK_REF_LEAK = "chunk-ref-leak"
 K_CHUNK_REF_OVERFREE = "chunk-ref-overfree"
+K_GROUPTABLE_UNREADABLE = "grouptable-unreadable"
+K_GROUPTABLE_TORN = "grouptable-torn-slot"
+K_GROUP_DANGLING = "group-dangling-record"
+K_GROUP_RECORD_UNREADABLE = "group-record-unreadable"
+K_GROUP_RECORD_TORN = "group-record-torn-slot"
+K_GROUP_MEMBER_MISSING = "group-member-missing"
+K_GROUP_STEP_UNRESTORABLE = "group-step-unrestorable"
 
 
 class Finding:
@@ -435,17 +442,24 @@ def fsck(pool: PmemPool, obs=None) -> FsckReport:
                     repair=lambda s=store, d=entry.digest, n=want:
                         s.set_refcount(d, n)))
 
+    # Parallel groups: the GroupTable, each group's commit record, and
+    # the cross-model invariant that every member can serve the group's
+    # committed step.
+    _fsck_groups(report, pool, table, allocator, claim)
+
     # Leaks: committed Portus-tagged extents no walk reached.  Foreign
-    # tags (anything not ours) are left alone.  The ChunkTable extent is
-    # excluded: readable tables were claimed above, unreadable ones
-    # already carry their own (freeing) finding.
+    # tags (anything not ours) are left alone.  The ChunkTable and
+    # GroupTable extents are excluded: readable tables were claimed
+    # above, unreadable ones already carry their own (freeing) finding.
+    from repro.core.group import GROUP_TAG
     for record in records:
         if record.addr in referenced:
             continue
         ours = (record.tag == TABLE_TAG
                 or record.tag.startswith(META_TAG + "/")
                 or record.tag.startswith(DATA_TAG + "/")
-                or record.tag.startswith(CHUNK_TAG + "/"))
+                or record.tag.startswith(CHUNK_TAG + "/")
+                or record.tag.startswith(GROUP_TAG + "/"))
         if not ours:
             continue
         report.add(Finding(
@@ -552,6 +566,114 @@ def _demote_and_unlink(meta, version: int) -> None:
         regions[version] = None
         meta.data_regions = tuple(regions)
         meta._mindex_record.write(meta.mindex.pack())
+
+
+def _fsck_groups(report: FsckReport, pool, table, allocator,
+                 claim: Callable[[int, str], bool]) -> None:
+    """Verify the parallel-group layer, if this pool has one.
+
+    Group invariants are *cross-model*: beyond the usual table/record
+    structural health, the committed step must be servable — every
+    member must still hold a DONE slot at it.  The repair for a
+    violated step is demote-only: roll the record back to the newest
+    step every member retains (possibly 0), never forward.
+    """
+    from repro.core.group import (GROUP_TABLE_TAG, GroupRecord, GroupTable)
+    from repro.core.index import FLAG_DONE, ModelMeta
+
+    if not pool.find_by_tag(GROUP_TABLE_TAG):
+        return
+    try:
+        gtable = GroupTable.open(pool)
+    except PmemError as exc:
+        # Only a crash before the table's very first commit gets here —
+        # no group was ever inserted, so the extent is pure leakage.
+        report.add(Finding(
+            K_GROUPTABLE_UNREADABLE, SEV_WARN, str(exc),
+            repair=lambda p=pool: _free_group_table(p)))
+        return
+    claim(gtable._record.allocation.addr, "<GroupTable>")
+    _check_torn_slots(report, gtable._record, K_GROUPTABLE_TORN,
+                      "GroupTable")
+    for name in gtable.names():
+        addr = gtable.lookup(name)
+        if allocator.lookup(addr) is None:
+            report.add(Finding(
+                K_GROUP_DANGLING, SEV_ERROR,
+                f"group table entry points at {addr:#x}, which no "
+                f"committed extent backs", model=name,
+                repair=lambda t=gtable, n=name: t.remove(n)))
+            continue
+        try:
+            record = GroupRecord.open(pool.device.allocation_at(addr))
+        except (ReproError, InvalidAddressError) as exc:
+            # Dropping the entry turns the region into a leak the next
+            # pass frees; re-registration recreates the group at step 0.
+            report.add(Finding(
+                K_GROUP_RECORD_UNREADABLE, SEV_ERROR,
+                f"group record at {addr:#x} unreadable: {exc}",
+                model=name,
+                repair=lambda t=gtable, n=name: t.remove(n)))
+            continue
+        claim(addr, f"<group:{name}>")
+        _check_torn_slots(report, record.record, K_GROUP_RECORD_TORN,
+                          "group commit record", model=name)
+        try:
+            layout = record.layout()
+        except ReproError as exc:
+            report.add(Finding(
+                K_GROUP_RECORD_UNREADABLE, SEV_ERROR,
+                f"group layout blob invalid: {exc}", model=name,
+                repair=lambda t=gtable, n=name: t.remove(n)))
+            continue
+        missing = [m for m in layout.members if m not in table]
+        if missing:
+            report.add(Finding(
+                K_GROUP_MEMBER_MISSING, SEV_ERROR,
+                f"{len(missing)} of {len(layout.members)} members "
+                f"missing from the ModelTable (e.g. {missing[0]!r})",
+                model=name,
+                repair=lambda t=gtable, n=name: t.remove(n)))
+            continue
+        if record.committed_step <= 0:
+            continue
+        # Cross-model invariant: every member holds DONE at the
+        # committed step.  Unreadable member metadata is skipped here —
+        # its own finding removes the member, and the member-missing
+        # cascade then drops the group on a later pass.
+        shared: Optional[set] = None
+        readable = True
+        for member in layout.members:
+            try:
+                meta = ModelMeta.open(pool, table.lookup(member),
+                                      lenient=True)
+                flags = meta.read_flags()
+            except (ReproError, InvalidAddressError):
+                readable = False
+                break
+            done = {flags.steps[v] for v in range(len(flags.states))
+                    if flags.states[v] == FLAG_DONE}
+            shared = done if shared is None else shared & done
+        if not readable or shared is None:
+            continue
+        if record.committed_step not in shared:
+            best = max((s for s in shared
+                        if 0 < s < record.committed_step), default=0)
+            report.add(Finding(
+                K_GROUP_STEP_UNRESTORABLE, SEV_ERROR,
+                f"committed step {record.committed_step} is not DONE on "
+                f"every member; newest fully-held step is {best}",
+                model=name,
+                repair=lambda r=record, s=best: r.commit(s)))
+
+
+def _free_group_table(pool) -> None:
+    """Reclaim an unreadable GroupTable extent (pre-first-commit crash:
+    no group was ever inserted behind it)."""
+    from repro.core.group import GROUP_TABLE_TAG
+
+    for allocation in pool.find_by_tag(GROUP_TABLE_TAG):
+        pool.free(allocation)
 
 
 def _count_findings(report: FsckReport, obs) -> None:

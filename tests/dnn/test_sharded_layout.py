@@ -1,0 +1,115 @@
+"""Sharded-layout descriptors and the resharding algebra (unit level).
+
+The invariants the group checkpoint layer leans on:
+
+* the wire encoding round-trips exactly (the blob lives inside the
+  group's PMem commit record);
+* :func:`gpt_layout` stays in lockstep with :func:`shard_gpt` — every
+  member's local specs are exactly the shard's tensors;
+* extract/assemble are mutual inverses for every partition kind; and
+* a reshard between topologies equals slicing the global tensor for
+  the target directly — bit-exact by construction.
+"""
+
+import zlib
+
+import pytest
+
+from repro.dnn.dtypes import DType
+from repro.dnn.gpt import shard_gpt, tiny_gpt
+from repro.dnn.layout import (PartitionSpec, ShardedLayout, assemble,
+                              derive_partition, extract, gpt_layout,
+                              reshard)
+from repro.dnn.tensor import TensorSpec
+from repro.errors import ReproError
+from repro.hw.content import ByteContent
+
+CONFIG = tiny_gpt()
+
+
+def _pattern(size, salt):
+    return ByteContent(bytes((i * 31 + salt) % 251 for i in range(size)))
+
+
+def test_layout_pack_unpack_round_trip():
+    layout = gpt_layout(CONFIG, 4, 2)
+    blob = layout.pack()
+    assert ShardedLayout.unpack(blob) == layout
+    assert ShardedLayout.unpack(blob).pack() == blob
+
+
+def test_unpack_rejects_garbage():
+    with pytest.raises(ReproError, match="magic"):
+        ShardedLayout.unpack(b"\x00" * 64)
+
+
+def test_gpt_layout_lockstep_with_shard_gpt():
+    for tp, pp in ((1, 1), (2, 2), (8, 2)):
+        layout = gpt_layout(CONFIG, tp, pp)
+        shards = shard_gpt(CONFIG, tp, pp)
+        assert layout.members == [shard.name for shard in shards]
+        for shard in shards:
+            local = layout.member_specs(shard.name)
+            assert [(s.name, s.shape) for s in local] == \
+                [(s.name, s.shape) for s in shard.tensors]
+
+
+def test_derive_partition_covers_all_kinds():
+    full = TensorSpec("w", (8, 4), DType.by_name("float16"))
+    assert derive_partition(full, full, 0, 1).axis is None
+    col = derive_partition(full, TensorSpec("w", (2, 4), full.dtype), 1, 4)
+    assert (col.axis, col.part, col.parts) == (0, 1, 4)
+    row = derive_partition(full, TensorSpec("w", (8, 1), full.dtype), 3, 4)
+    assert (row.axis, row.part, row.parts) == (1, 3, 4)
+    with pytest.raises(ReproError, match="not a recognized"):
+        derive_partition(full, TensorSpec("w", (3, 3), full.dtype), 0, 2)
+
+
+@pytest.mark.parametrize("axis", [None, 0, 1])
+def test_extract_assemble_round_trip(axis):
+    dtype = DType.by_name("float16")
+    shape = (8, 6)
+    full = _pattern(8 * 6 * dtype.itemsize, salt=7)
+    parts = 1 if axis is None else 2
+    specs = [PartitionSpec("w", shape, dtype, axis=axis, part=p,
+                           parts=parts) for p in range(parts)]
+    pieces = [extract(spec, full) for spec in specs]
+    rebuilt = assemble(zip(specs, pieces))
+    assert rebuilt.equals(full)
+
+
+def test_assemble_rejects_missing_partition():
+    dtype = DType.by_name("float16")
+    spec = PartitionSpec("w", (8, 4), dtype, axis=0, part=0, parts=2)
+    piece = _pattern(spec.local_size_bytes, salt=1)
+    with pytest.raises(ReproError, match="missing partitions"):
+        assemble([(spec, piece)])
+
+
+@pytest.mark.parametrize("src,dst", [((8, 2), (4, 1)), ((8, 2), (2, 2)),
+                                     ((2, 2), (1, 1)), ((1, 1), (4, 2))])
+def test_reshard_matches_direct_global_slicing(src, dst):
+    source = gpt_layout(CONFIG, *src)
+    target = gpt_layout(CONFIG, *dst)
+    globals_ = {name: _pattern(spec.size_bytes,
+                               salt=zlib.crc32(name.encode()) % 199)
+                for name, spec in source.global_specs().items()}
+    contents = {member: {spec.name: extract(spec, globals_[spec.name])
+                         for spec in source.partitions[member]}
+                for member in source.members}
+    out = reshard(source, contents, target)
+    for member in target.members:
+        for spec in target.partitions[member]:
+            want = extract(spec, globals_[spec.name])
+            assert out[member][spec.name].equals(want), \
+                f"{member}/{spec.name}"
+
+
+def test_reshard_rejects_mismatched_coverage():
+    source = gpt_layout(CONFIG, 2, 1)
+    target = gpt_layout(tiny_gpt(name="other", layers=2), 2, 1)
+    contents = {member: {spec.name: _pattern(spec.local_size_bytes, 3)
+                         for spec in source.partitions[member]}
+                for member in source.members}
+    with pytest.raises(ReproError, match="different tensors"):
+        reshard(source, contents, target)

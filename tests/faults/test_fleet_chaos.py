@@ -248,6 +248,95 @@ def test_fleet_chaos_crash_point_schedule_is_deterministic():
     assert first == second
 
 
+def test_migration_chaos_is_typed_and_leak_only(monkeypatch):
+    """Ping-pong live migrations with seeded failures injected into the
+    post-flip cleanup window.  The router contract under chaos: every
+    hop either succeeds or raises a typed
+    :class:`~repro.errors.MigrationIncomplete` whose ring flip is never
+    unwound — the destination always holds the authoritative copy, and
+    the named leak is reclaimable afterwards.  Same seed, same outcome
+    sequence."""
+    from repro.errors import MigrationIncomplete
+    import repro.fleet.client as fleet_client
+
+    real_evict = fleet_client.evict_model
+
+    def run_case(seed):
+        rng = random.Random(seed ^ 0x517)
+
+        def flaky_evict(daemon, name):
+            if rng.random() < 0.5:
+                raise ReproError("chaos: evict window failure")
+            return real_evict(daemon, name)
+
+        monkeypatch.setattr(fleet_client, "evict_model", flaky_evict)
+        cluster = PaperCluster(seed=seed, ampere_nodes=0,
+                               storage_nodes=2)
+        fleet = FleetClient(cluster)
+
+        def setup(env):
+            instance = ModelInstance.materialize(
+                "model0", SPECS, cluster.volta.gpus[0], model_seed=seed)
+            session = yield from fleet.register("t0", instance)
+            instance.update_step(1)
+            yield from session.checkpoint(1)
+            return instance, session
+
+        instance, session = cluster.run(setup)
+        outcomes = []
+        for hop in range(1, 5):
+            src = fleet.shard_of("t0", "model0")
+            dst = next(s for s in cluster.shards if s.name != src.name)
+
+            def migrate(env):
+                try:
+                    yield from fleet.migrate("t0", "model0", dst.name)
+                except MigrationIncomplete as exc:
+                    return exc
+                return None
+
+            error = cluster.run(migrate)
+            # Flip-held invariant, success or not: the destination owns
+            # the model and the ring agrees.
+            assert fleet.shard_of("t0", "model0").name == dst.name
+            assert dst.daemon.model_map.get("model0") is not None
+            if error is not None:
+                assert error.leaked, "typed error must name the leak"
+                outcomes.append(f"hop{hop}:incomplete")
+                # Leak-only means an operator can reclaim it cold.
+                if src.daemon.model_map.get("model0") is not None:
+                    real_evict(src.daemon, "model0")
+            else:
+                assert src.daemon.model_map.get("model0") is None
+                outcomes.append(f"hop{hop}:ok")
+
+            def work(env, step=hop + 1):
+                instance.update_step(step)
+                yield from session.checkpoint(step)
+
+            cluster.run(work)
+
+        def recover(env):
+            instance.update_step(0)
+            return (yield from session.restore())
+
+        assert cluster.run(recover) == 5
+        bad = [t.name for t in instance.tensors
+               if not t.content().equals(t.expected_content(5))]
+        assert bad == []
+        for shard in cluster.shards:
+            assert fsck(shard.pool).clean
+        return tuple(outcomes)
+
+    results = [run_case(BASE_SEED + 9000 + case) for case in range(6)]
+    flat = [outcome for case in results for outcome in case]
+    assert any(outcome.endswith(":incomplete") for outcome in flat), \
+        "no schedule ever hit the post-flip window"
+    assert any(outcome.endswith(":ok") for outcome in flat)
+    assert results == [run_case(BASE_SEED + 9000 + case)
+                       for case in range(6)]
+
+
 def test_single_shard_plans_unchanged_by_the_shard_knob():
     """The fleet knob must not perturb legacy chaos seeds: a
     single-entry ``storage_shards`` draws nothing from the RNG."""

@@ -17,8 +17,11 @@ import random
 
 import pytest
 
+from repro.dnn.gpt import shard_gpt, tiny_gpt
+from repro.dnn.layout import gpt_layout
 from repro.dnn.tensor import ModelInstance, TensorSpec
-from repro.errors import (AdmissionReject, ReproError,
+from repro.errors import (AdmissionReject, DedupMigrationUnsupported,
+                          GroupNotFound, MigrationIncomplete, ReproError,
                           TenantQuotaExceeded)
 from repro.core.retry import RetryPolicy
 from repro.fleet import (AdmissionController, FleetClient, PlacementRing,
@@ -353,8 +356,188 @@ def test_migration_refuses_dedup_models():
     def migrate(env):
         yield from fleet.migrate("acme", "resnet18", dst.name)
 
-    with pytest.raises(ReproError, match="pool-local"):
+    # The refusal is typed: callers can branch on "copy it cold instead"
+    # without string-matching a generic failure.
+    with pytest.raises(DedupMigrationUnsupported, match="pool-local"):
         cluster.run(migrate)
+    # Nothing moved: the source still owns the model, the ring agrees.
+    assert src.daemon.model_map.get("resnet18") is not None
+    assert dst.daemon.model_map.get("resnet18") is None
+    assert fleet.shard_of("acme", "resnet18").name == src.name
+
+
+def test_post_flip_evict_failure_is_leak_only_and_typed(monkeypatch):
+    """The ring flip is the commit point: a cleanup failure after it
+    must never unwind the flip — it surfaces as MigrationIncomplete
+    naming the leak, and the destination copy stays authoritative."""
+    cluster = PaperCluster(seed=61, ampere_nodes=0, storage_nodes=2)
+    fleet = FleetClient(cluster)
+
+    def setup(env):
+        session = yield from fleet.register("acme", "resnet18")
+        session.model.update_step(1)
+        yield from session.checkpoint(1)
+        return session
+
+    session = cluster.run(setup)
+    src = fleet.shard_of("acme", "resnet18")
+    dst = next(s for s in cluster.shards if s.name != src.name)
+
+    import repro.fleet.client as fleet_client
+
+    def broken_evict(daemon, name):
+        raise ReproError("injected: source unlink lost")
+
+    monkeypatch.setattr(fleet_client, "evict_model", broken_evict)
+
+    def migrate(env):
+        try:
+            yield from fleet.migrate("acme", "resnet18", dst.name)
+        except MigrationIncomplete as exc:
+            return exc
+        return None
+
+    error = cluster.run(migrate)
+    assert isinstance(error, MigrationIncomplete)
+    assert list(error.leaked) == [f"source-copy:{src.name}/resnet18"]
+    # The flip held: lookups route to the destination, which holds the
+    # bytes, and the live session followed.
+    assert fleet.shard_of("acme", "resnet18").name == dst.name
+    assert dst.daemon.model_map.get("resnet18") is not None
+    assert session.client.daemon is dst.daemon
+
+    def recover(env):
+        session.model.update_step(0)
+        return (yield from session.restore())
+
+    assert cluster.run(recover) == 1  # the leak never blocks the copy
+
+
+# -- parallel groups ----------------------------------------------------------
+
+
+GROUP_CONFIG = tiny_gpt()
+
+
+def _group_fixture(cluster, fleet, tp=2, pp=1, tenant="acme"):
+    """Register a tiny-GPT group through the fleet router; returns
+    ``(layout, instances, group)``."""
+    layout = gpt_layout(GROUP_CONFIG, tp, pp)
+    shards = shard_gpt(GROUP_CONFIG, tp, pp)
+    instances = {
+        shard.name: ModelInstance.materialize(
+            shard.name, shard.tensors,
+            cluster.volta.gpus[index % 4], model_seed=index)
+        for index, shard in enumerate(shards)}
+
+    def setup(env):
+        return (yield from fleet.register_group(
+            tenant, GROUP_CONFIG.name, layout, instances))
+
+    return layout, instances, cluster.run(setup)
+
+
+def test_group_registration_places_all_members_on_one_shard():
+    cluster = PaperCluster(seed=47, ampere_nodes=0, storage_nodes=4)
+    fleet = FleetClient(cluster)
+    layout, _instances, _group = _group_fixture(cluster, fleet, tp=2,
+                                                pp=2)
+    home = fleet.ring.lookup("acme", GROUP_CONFIG.name)
+    home_shard = cluster.shard_named(home)
+    for member in layout.members:
+        assert fleet.shard_of("acme", member).name == home
+        assert home_shard.daemon.model_map.get(member) is not None
+    # The co-location is the group pin's doing, not ring luck: the
+    # same members hashed without pins would scatter.
+    bare = PlacementRing([shard.name for shard in cluster.shards])
+    assert len({bare.lookup("acme", m) for m in layout.members}) > 1
+    assert cluster.obs.metrics.value(
+        f"fleet.group_placements.{home}") == 1
+
+
+def test_group_migration_moves_the_whole_group():
+    cluster = PaperCluster(seed=53, ampere_nodes=0, storage_nodes=2)
+    fleet = FleetClient(cluster)
+    layout, instances, group = _group_fixture(cluster, fleet)
+
+    def work(env):
+        for instance in instances.values():
+            instance.update_step(1)
+        yield from group.dump(1)
+
+    cluster.run(work)
+    src = cluster.shard_named(fleet.ring.lookup("acme",
+                                                GROUP_CONFIG.name))
+    dst = next(s for s in cluster.shards if s.name != src.name)
+
+    def migrate(env):
+        return (yield from fleet.migrate_group("acme", GROUP_CONFIG.name,
+                                               dst.name))
+
+    step, moved = cluster.run(migrate)
+    assert step == 1 and moved > 0
+    assert fleet.ring.lookup("acme", GROUP_CONFIG.name) == dst.name
+    for member in layout.members:
+        assert fleet.shard_of("acme", member).name == dst.name
+        assert src.daemon.model_map.get(member) is None
+        assert dst.daemon.model_map.get(member) is not None
+    assert dst.daemon.groups.lookup(GROUP_CONFIG.name).committed_step == 1
+    with pytest.raises(GroupNotFound):
+        src.daemon.groups.lookup(GROUP_CONFIG.name)
+
+    def recover(env):
+        for instance in instances.values():
+            instance.update_step(0)
+        return (yield from group.restore())
+
+    assert cluster.run(recover) == 1
+    for instance in instances.values():
+        bad = [t.name for t in instance.tensors
+               if not t.content().equals(t.expected_content(1))]
+        assert bad == []
+    for shard in cluster.shards:
+        assert fsck(shard.pool).clean
+    assert cluster.obs.metrics.value(
+        f"fleet.group_migrations.{src.name}->{dst.name}") == 1
+
+
+def test_group_migration_refuses_mixed_dedup_groups():
+    """One dedup member poisons the whole group: the refusal is the
+    same typed error as single-model dedup migration, raised before
+    anything moves."""
+    cluster = PaperCluster(seed=59, ampere_nodes=0, storage_nodes=2)
+    fleet = FleetClient(cluster)
+    layout = gpt_layout(GROUP_CONFIG, 2, 1)
+    shards = shard_gpt(GROUP_CONFIG, 2, 1)
+    home = cluster.shards[0]
+    fleet.ring.assign("acme", GROUP_CONFIG.name, home.name)
+    for member in layout.members:
+        fleet.ring.assign("acme", member, home.name)
+
+    def setup(env):
+        for index, shard in enumerate(shards):
+            instance = ModelInstance.materialize(
+                shard.name, shard.tensors, cluster.volta.gpus[index],
+                model_seed=index)
+            session = yield from fleet.register("acme", instance,
+                                                dedup=(index == 0))
+            instance.update_step(1)
+            yield from session.checkpoint(1)
+
+    cluster.run(setup)
+    home.daemon.groups.register(GROUP_CONFIG.name, layout.pack())
+    dst = cluster.shards[1]
+
+    def migrate(env):
+        yield from fleet.migrate_group("acme", GROUP_CONFIG.name,
+                                       dst.name)
+
+    with pytest.raises(DedupMigrationUnsupported,
+                       match="all-or-nothing"):
+        cluster.run(migrate)
+    for member in layout.members:
+        assert home.daemon.model_map.get(member) is not None
+        assert dst.daemon.model_map.get(member) is None
 
 
 # -- ring/cluster wiring ------------------------------------------------------

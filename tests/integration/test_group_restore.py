@@ -1,0 +1,147 @@
+"""Torn-group restore: the bug, the fix, and resharding bit-exactness.
+
+The pre-group hazard, pinned as a regression: with per-shard restores,
+a dump that completed on only *some* members surfaces as a mixed-step
+model — half the shards at step 20, half at step 10 — silently.  The
+group layer's pinned-step restore must return every member at the
+newest *fully committed* group step instead.
+
+The resharding acceptance contract (DESIGN.md §14): a group checkpoint
+dumped at TP=8 x PP=2 restores into TP=4 x PP=1 and TP=2 x PP=2 with
+every tensor bit-identical to the unsharded reference model.  The
+shard bytes here are true slices of one reference model (not per-shard
+pattern content), so byte equality actually proves the algebra.
+"""
+
+import pytest
+
+from repro.core.group import register_group, restore_resharded
+from repro.dnn.gpt import build_gpt, tiny_gpt
+from repro.dnn.layout import extract, gpt_layout, materialize_member
+from repro.dnn.tensor import ModelInstance
+from repro.harness.cluster import PaperCluster
+from repro.hw.content import ZeroContent
+
+CONFIG = tiny_gpt()
+SOURCE = gpt_layout(CONFIG, 8, 2)
+
+
+def reference_contents(cluster, step):
+    """Global tensor name -> bytes of the unsharded model at *step*."""
+    full = build_gpt(CONFIG)
+    reference = ModelInstance.materialize(
+        "reference", full.tensors, cluster.volta.gpus[3], model_seed=77)
+    reference.update_step(step)
+    return {tensor.name: tensor.content() for tensor in reference.tensors}
+
+
+def member_contents(layout, member, globals_):
+    return {spec.name: extract(spec, globals_[spec.name])
+            for spec in layout.partitions[member]}
+
+
+def stage_group(cluster, client, globals_):
+    """Materialize + register every SOURCE member holding true slices
+    of the reference model; returns (instances, sessions, group)."""
+    instances, sessions = {}, []
+
+    def setup(env):
+        for index, member in enumerate(SOURCE.members):
+            instance = materialize_member(
+                SOURCE, member, cluster.volta.gpus[index % 3],
+                member_contents(SOURCE, member, globals_))
+            session = yield from client.register(instance)
+            instances[member] = instance
+            sessions.append(session)
+        group = yield from register_group(client, CONFIG.name, SOURCE,
+                                          sessions)
+        return group
+
+    group = cluster.run(setup)
+    return instances, sessions, group
+
+
+def torn_cluster():
+    """A group committed at step 10, then half its members checkpointed
+    at step 20 with no group commit — the torn-dump state."""
+    cluster = PaperCluster(seed=29, ampere_nodes=0)
+    client = cluster.portus_client()
+    globals10 = reference_contents(cluster, step=10)
+    instances, sessions, group = stage_group(cluster, client, globals10)
+
+    def dump10(env):
+        yield from group.dump(10)
+
+    cluster.run(dump10)
+
+    globals20 = reference_contents(cluster, step=20)
+    half = SOURCE.members[:len(SOURCE.members) // 2]
+
+    def torn_dump20(env):
+        for member in half:
+            contents = member_contents(SOURCE, member, globals20)
+            for tensor in instances[member].tensors:
+                tensor.allocation.write(0, contents[tensor.name])
+            yield from group.sessions[member].checkpoint(20)
+
+    cluster.run(torn_dump20)
+    return cluster, instances, group, globals10
+
+
+def test_naive_per_member_restore_mixes_steps():
+    """The pre-group behaviour, demonstrated: unpinned member restores
+    reassemble a model that never existed (steps 10 and 20 mixed)."""
+    cluster, _instances, group, _globals10 = torn_cluster()
+
+    def naive_restore(env):
+        steps = []
+        for member in SOURCE.members:
+            step = yield from group.sessions[member].restore()
+            steps.append(step)
+        return steps
+
+    steps = cluster.run(naive_restore)
+    assert set(steps) == {10, 20}, steps
+
+
+def test_group_restore_returns_uniform_committed_step():
+    cluster, instances, group, globals10 = torn_cluster()
+
+    def group_restore(env):
+        return (yield from group.restore())
+
+    step = cluster.run(group_restore)
+    assert step == 10
+    assert {instance.step for instance in instances.values()} == {10}
+    for member, instance in instances.items():
+        want = member_contents(SOURCE, member, globals10)
+        for tensor in instance.tensors:
+            assert tensor.content().equals(want[tensor.name]), \
+                f"{member}/{tensor.name}"
+
+
+@pytest.mark.parametrize("tp,pp", [(4, 1), (2, 2), (1, 1)])
+def test_resharded_restore_is_bit_identical_to_reference(tp, pp):
+    cluster, _instances, _group, globals10 = torn_cluster()
+    target = gpt_layout(CONFIG, tp, pp)
+    targets = {
+        member: materialize_member(
+            target, member, cluster.volta.gpus[index % 3],
+            {spec.name: ZeroContent(spec.local_size_bytes)
+             for spec in target.partitions[member]})
+        for index, member in enumerate(target.members)}
+
+    def reshard_restore(env):
+        client = cluster.portus_client()
+        return (yield from restore_resharded(
+            client, CONFIG.name, target, targets,
+            stage_device=cluster.volta.gpus[3]))
+
+    step = cluster.run(reshard_restore)
+    assert step == 10
+    for member, instance in targets.items():
+        assert instance.step == 10
+        want = member_contents(target, member, globals10)
+        for tensor in instance.tensors:
+            assert tensor.content().equals(want[tensor.name]), \
+                f"{member}/{tensor.name}"
